@@ -1,0 +1,138 @@
+// Command hybpexp regenerates the paper's tables and figures (DESIGN.md §3
+// maps each to its experiment). Output is the same rows/series the paper
+// reports; EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	hybpexp [-scale quick|medium|full] [-nbench N] [-nmix N] [-intervals list] \
+//	        table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|cost|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybp/internal/sim"
+	"hybp/internal/workload"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "medium", "experiment scale: quick|medium|full")
+		seed      = flag.Uint64("seed", 2022, "random seed")
+		nbench    = flag.Int("nbench", 0, "limit per-application experiments to the first N figure apps (0 = all)")
+		nmix      = flag.Int("nmix", 0, "limit SMT experiments to the first N Table V mixes (0 = all)")
+		intervals = flag.String("intervals", "", "comma-separated context-switch intervals in cycles (overrides the scale's sweep)")
+		cycles    = flag.Uint64("cycles", 0, "override the scale's per-point cycle budget")
+		warmup    = flag.Uint64("warmup", 0, "override the scale's warmup cycles")
+	)
+	flag.Parse()
+
+	var sc sim.Scale
+	switch *scaleName {
+	case "quick":
+		sc = sim.Quick()
+	case "medium":
+		sc = sim.Medium()
+	case "full":
+		sc = sim.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	if *cycles > 0 {
+		sc.MaxCycles = *cycles
+	}
+	if *warmup > 0 {
+		sc.WarmupCycles = *warmup
+	}
+	if *intervals != "" {
+		sc.Intervals = nil
+		for _, f := range strings.Split(*intervals, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad interval %q: %v\n", f, err)
+				os.Exit(2)
+			}
+			sc.Intervals = append(sc.Intervals, v)
+		}
+		sc.DefaultInterval = sc.Intervals[len(sc.Intervals)-1]
+	}
+
+	benches := workload.FigureApps()
+	if *nbench > 0 && *nbench < len(benches) {
+		benches = benches[:*nbench]
+	}
+	mixes := workload.Mixes()
+	if *nmix > 0 && *nmix < len(mixes) {
+		mixes = mixes[:*nmix]
+	}
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hybpexp [flags] table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|cost|all")
+		os.Exit(2)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		fmt.Printf("=== %s (scale %s, %d apps, %d mixes) ===\n", name, *scaleName, len(benches), len(mixes))
+		switch name {
+		case "table1":
+			sim.Table1(sc, benches, mixes).Print(os.Stdout)
+		case "table3":
+			sim.Table3(sim.Table3Config{Iterations: 200, Seed: sc.Seed}).Print(os.Stdout)
+		case "table6":
+			sim.Table6(sc, cap4(benches), nil).Print(os.Stdout)
+		case "fig2":
+			sim.Fig2(sc, benches).Print(os.Stdout)
+		case "fig5":
+			sim.Fig5(sc, benches).Print(os.Stdout)
+		case "fig6":
+			sim.Fig6(sc, benches).Print(os.Stdout)
+		case "fig7":
+			sim.Fig7(sc, mixes).Print(os.Stdout)
+		case "fig8":
+			m8 := mixes
+			if len(m8) > 3 {
+				m8 = m8[:3]
+			}
+			sim.Fig8(sc, m8, []float64{0, 0.5, 1.0, 2.4, 3.0}).Print(os.Stdout)
+		case "tournament":
+			sim.Tournament(sc, benches).Print(os.Stdout)
+		case "brb":
+			sim.BRBComparison(sc, cap4(benches)).Print(os.Stdout)
+		case "seeds":
+			sim.PrintMultiSeed(os.Stdout, sc, benches[0], 5)
+		case "cost":
+			sim.PrintCost(os.Stdout, sim.HardwareCost(sc.Seed))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, name := range flag.Args() {
+		if name == "all" {
+			for _, n := range []string{"table1", "table3", "table6", "fig2", "fig5", "fig6", "fig7", "fig8", "tournament", "brb", "cost"} {
+				run(n)
+			}
+			continue
+		}
+		run(name)
+	}
+}
+
+// cap4 limits a benchmark list to four entries (the sweep experiments
+// whose cost is quadratic in scope).
+func cap4(bs []string) []string {
+	if len(bs) > 4 {
+		return bs[:4]
+	}
+	return bs
+}

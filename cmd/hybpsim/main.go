@@ -1,0 +1,108 @@
+// Command hybpsim runs a single branch-predictor simulation: one or two
+// benchmarks on a chosen defense mechanism, with context switching, and
+// prints IPC, MPKI, prediction accuracy, and the degradation versus the
+// unprotected baseline.
+//
+// Examples:
+//
+//	hybpsim -bench deepsjeng -mech hybp -interval 16000000
+//	hybpsim -bench imagick -bench2 xz -mech partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hybp"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark for hardware thread 0")
+		bench2   = flag.String("bench2", "", "benchmark for hardware thread 1 (enables SMT-2)")
+		mech     = flag.String("mech", "hybp", "mechanism: baseline|flush|partition|replication|hybp")
+		interval = flag.Uint64("interval", 16_000_000, "context-switch interval in cycles (0 disables)")
+		cycles   = flag.Uint64("cycles", 48_000_000, "simulated cycles")
+		warmup   = flag.Uint64("warmup", 8_000_000, "warmup cycles excluded from measurement")
+		seed     = flag.Uint64("seed", 2022, "random seed")
+		repl     = flag.Float64("replication-overhead", 1.0, "extra storage fraction for -mech replication")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		names := hybp.Benchmarks()
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	threads := []hybp.ThreadSpec{{
+		Workload:      hybp.Benchmark(*bench),
+		OtherWorkload: hybp.Benchmark(partner(*bench)),
+		Seed:          *seed,
+	}}
+	nThreads := 1
+	if *bench2 != "" {
+		threads = append(threads, hybp.ThreadSpec{
+			Workload:      hybp.Benchmark(*bench2),
+			OtherWorkload: hybp.Benchmark(partner(*bench2)),
+			Seed:          *seed ^ 0xF00,
+		})
+		nThreads = 2
+	}
+
+	run := func(m hybp.Mechanism) hybp.SimResult {
+		return hybp.Simulate(hybp.SimConfig{
+			Core: hybp.DefaultCoreConfig(),
+			BPU: hybp.NewBPU(hybp.Options{
+				Mechanism:           m,
+				Threads:             nThreads,
+				Seed:                *seed,
+				ReplicationOverhead: *repl,
+			}),
+			Threads:        threads,
+			SwitchInterval: *interval,
+			MaxCycles:      *cycles,
+			WarmupCycles:   *warmup,
+		})
+	}
+
+	mechID := hybp.Mechanism(*mech)
+	found := false
+	for _, m := range hybp.Mechanisms() {
+		if m == mechID {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
+		os.Exit(2)
+	}
+
+	base := run(hybp.Baseline)
+	res := base
+	if mechID != hybp.Baseline {
+		res = run(mechID)
+	}
+
+	fmt.Printf("mechanism=%s interval=%d cycles=%d\n", mechID, *interval, *cycles)
+	names := []string{*bench, *bench2}
+	for i, tr := range res.Threads {
+		fmt.Printf("thread %d (%s): IPC=%.4f  MPKI=%.2f  accuracy=%.2f%%  switches=%d  privchanges=%d\n",
+			i, names[i], tr.IPC(), tr.MPKI(), 100*tr.Accuracy(), tr.Switches, tr.PrivChanges)
+	}
+	fmt.Printf("throughput: %.4f IPC (baseline %.4f, degradation %.2f%%)\n",
+		res.ThroughputIPC(), base.ThroughputIPC(),
+		100*(base.ThroughputIPC()-res.ThroughputIPC())/base.ThroughputIPC())
+}
+
+func partner(bench string) string {
+	if bench == "gcc" {
+		return "perlbench"
+	}
+	return "gcc"
+}

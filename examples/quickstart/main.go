@@ -1,0 +1,60 @@
+// Quickstart: build a HyBP-protected branch predictor, feed it a few
+// branches by hand, then run a short simulation comparing it with the
+// unprotected baseline.
+package main
+
+import (
+	"fmt"
+
+	"hybp"
+)
+
+func main() {
+	// --- 1. Drive a BPU by hand -------------------------------------------
+	bpu := hybp.NewBPU(hybp.Options{Mechanism: hybp.HyBP, Threads: 1, Seed: 42})
+	ctx := hybp.Context{Thread: 0, Priv: hybp.User, ASID: 1}
+
+	br := hybp.Branch{PC: 0x400100, Target: 0x400800, Taken: true, Kind: hybp.Jump}
+	first := bpu.Access(ctx, br, 0)
+	second := bpu.Access(ctx, br, 4)
+	fmt.Printf("first access: BTB hit=%v; second access: BTB hit=%v (level %d)\n",
+		first.BTBHit, second.BTBHit, second.BTBLevel)
+
+	// A context switch changes the keys: the entry becomes unreachable.
+	bpu.OnContextSwitch(0, 2, 100)
+	third := bpu.Access(ctx, br, 200_000)
+	fmt.Printf("after context switch (new keys): BTB hit=%v\n", third.BTBHit)
+
+	// --- 2. Simulate a benchmark under two mechanisms ---------------------
+	run := func(m hybp.Mechanism) hybp.ThreadResult {
+		res := hybp.Simulate(hybp.SimConfig{
+			Core: hybp.DefaultCoreConfig(),
+			BPU:  hybp.NewBPU(hybp.Options{Mechanism: m, Threads: 1, Seed: 42}),
+			Threads: []hybp.ThreadSpec{{
+				Workload:      hybp.Benchmark("deepsjeng"),
+				OtherWorkload: hybp.Benchmark("gcc"),
+				Seed:          42,
+			}},
+			SwitchInterval: 4_000_000, // context switch every 4M cycles
+			MaxCycles:      20_000_000,
+			WarmupCycles:   4_000_000,
+		})
+		return res.Threads[0]
+	}
+
+	base := run(hybp.Baseline)
+	protected := run(hybp.HyBP)
+	flushed := run(hybp.Flush)
+
+	fmt.Printf("\ndeepsjeng, 4M-cycle context switches:\n")
+	fmt.Printf("  baseline: IPC %.3f (accuracy %.1f%%)\n", base.IPC(), 100*base.Accuracy())
+	fmt.Printf("  hybp:     IPC %.3f (degradation %.2f%%)\n",
+		protected.IPC(), 100*(base.IPC()-protected.IPC())/base.IPC())
+	fmt.Printf("  flush:    IPC %.3f (degradation %.2f%%)\n",
+		flushed.IPC(), 100*(base.IPC()-flushed.IPC())/base.IPC())
+
+	// --- 3. Hardware cost (paper Section VII-D) ---------------------------
+	cost := hybp.HardwareCost(42)
+	fmt.Printf("\nHyBP hardware cost: %.1f KB = %.1f%% of the baseline BPU\n",
+		cost.TotalKB, cost.OverheadPercent)
+}

@@ -1,0 +1,3 @@
+module hybp
+
+go 1.22

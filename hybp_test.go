@@ -1,0 +1,131 @@
+package hybp
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestNewBPUAllMechanisms(t *testing.T) {
+	for _, m := range Mechanisms() {
+		b := NewBPU(Options{Mechanism: m, Threads: 2, Seed: 1})
+		if b == nil {
+			t.Fatalf("NewBPU(%s) returned nil", m)
+		}
+		ctx := Context{Thread: 0, Priv: User, ASID: 1}
+		res := b.Access(ctx, Branch{PC: 0x1000, Target: 0x2000, Taken: true, Kind: Jump}, 0)
+		if res.BTBHit {
+			t.Errorf("%s: cold access hit", m)
+		}
+		res = b.Access(ctx, Branch{PC: 0x1000, Target: 0x2000, Taken: true, Kind: Jump}, 4)
+		if !res.BTBHit {
+			t.Errorf("%s: trained access missed", m)
+		}
+	}
+}
+
+func TestNewBPUUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown mechanism did not panic")
+		}
+	}()
+	NewBPU(Options{Mechanism: "nope"})
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	// Key-change threshold plumbing: a tiny threshold forces refreshes.
+	b := NewBPU(Options{Mechanism: HyBP, Seed: 3, KeyChangeThreshold: 25})
+	ctx := Context{Thread: 0, Priv: User, ASID: 1}
+	var stale int
+	for i := 0; i < 400; i++ {
+		res := b.Access(ctx, Branch{PC: uint64(0x1000 + i*8), Target: 1, Taken: true, Kind: Jump}, uint64(i*4))
+		if res.StaleKey {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Error("tiny key-change threshold produced no refresh windows")
+	}
+	// Disabled threshold must not refresh.
+	b2 := NewBPU(Options{Mechanism: HyBP, Seed: 3, KeyChangeThreshold: -1})
+	stale = 0
+	for i := 0; i < 400; i++ {
+		res := b2.Access(ctx, Branch{PC: uint64(0x1000 + i*8), Target: 1, Taken: true, Kind: Jump}, uint64(i*4))
+		if res.StaleKey {
+			stale++
+		}
+	}
+	if stale != 0 {
+		t.Error("disabled threshold still refreshed")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	res := Simulate(SimConfig{
+		Core:         DefaultCoreConfig(),
+		BPU:          NewBPU(Options{Mechanism: HyBP, Seed: 7}),
+		Threads:      []ThreadSpec{{Workload: Benchmark("gcc"), Seed: 7}},
+		MaxCycles:    1_000_000,
+		WarmupCycles: 200_000,
+	})
+	if len(res.Threads) != 1 || res.Threads[0].IPC() <= 0 {
+		t.Fatalf("simulation produced no throughput: %+v", res)
+	}
+}
+
+func TestBenchmarkRegistry(t *testing.T) {
+	names := Benchmarks()
+	sort.Strings(names)
+	if len(names) < 15 {
+		t.Fatalf("only %d benchmarks registered", len(names))
+	}
+	if len(Mixes()) != 12 {
+		t.Fatalf("mixes = %d, want 12", len(Mixes()))
+	}
+	if Benchmark("gcc").Name != "gcc" {
+		t.Fatal("Benchmark lookup broken")
+	}
+}
+
+func TestHardwareCostFacade(t *testing.T) {
+	c := HardwareCost(1)
+	if c.OverheadPercent < 15 || c.OverheadPercent > 30 {
+		t.Errorf("overhead = %.1f%%", c.OverheadPercent)
+	}
+	hy := NewBPU(Options{Mechanism: HyBP, Threads: 2, Seed: 1})
+	if got := StorageOverheadPercent(hy); got < 10 || got > 30 {
+		t.Errorf("storage overhead = %.1f%%", got)
+	}
+}
+
+func TestAnalyticFacades(t *testing.T) {
+	if p := BlindContentionP(1140, 1024, 7); p < 0.11 || p > 0.14 {
+		t.Errorf("Eq.(1) at paper point = %.4f", p)
+	}
+	if a := PHTReuseAccesses(13, 12, 2, 1); a < 2e8 || a > 5e8 {
+		t.Errorf("Eq.(2) = %.3g", a)
+	}
+	n, p := BlindContentionOptimum(64, 4, 512)
+	if n <= 0 || p <= 0 {
+		t.Error("optimum sweep failed")
+	}
+}
+
+func TestAttackFacade(t *testing.T) {
+	bpu := NewBPU(Options{Mechanism: Baseline, Threads: 2, Seed: 3, Scale: 1.0 / 16})
+	att := Context{Thread: 0, Priv: User, ASID: 2}
+	vic := Context{Thread: 1, Priv: User, ASID: 3}
+	h := NewAttackHarness(bpu, att, vic)
+	x := Branch{PC: 0x20F00, Target: 0x21000, Taken: true, Kind: Jump}
+	res := GEM(h, PPPConfig{S: 64, W: 7, Seed: 3}, x)
+	if !res.Found {
+		t.Error("GEM failed on unprotected baseline")
+	}
+
+	cfg := DefaultPoCConfig(5)
+	cfg.Iterations = 20
+	poc := BTBTrainingPoC(NewBPU(Options{Mechanism: HyBP, Threads: 2, Seed: 3, Scale: 1.0 / 16}), att, vic, cfg)
+	if poc.SuccessRate() > 0.05 {
+		t.Errorf("HyBP BTB PoC success = %.3f", poc.SuccessRate())
+	}
+}

@@ -1,0 +1,229 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"hybp/internal/keys"
+	"hybp/internal/secure"
+)
+
+func attackerCtx() secure.Context { return secure.Context{Thread: 0, Priv: keys.User, ASID: 2} }
+func victimCtx() secure.Context   { return secure.Context{Thread: 1, Priv: keys.User, ASID: 3} }
+
+func TestBlindContentionMatchesPaper(t *testing.T) {
+	// Paper Section VI-A quotes (n=1140, P≈12%) for S=1024, W=7; the
+	// printed formula indeed gives ≈12.7% there.
+	if p := BlindContentionP(1140, 1024, 7); p < 0.11 || p > 0.14 {
+		t.Errorf("P(1140) = %.4f, want ≈0.12", p)
+	}
+	// The curve's true crest sits a little higher and later; the expected
+	// cost band is what matters downstream.
+	n, p := BlindContentionOptimum(1024, 7, 8192)
+	if n < 1000 || n > 4000 {
+		t.Errorf("optimal n = %d, want in the low thousands", n)
+	}
+	if p < 0.10 || p > 0.25 {
+		t.Errorf("optimal P = %.4f, want 0.10-0.25", p)
+	}
+}
+
+func TestBlindContentionExpectedAccesses(t *testing.T) {
+	// With the L0/L1 filter factor (16 × 512 in the coarse paper model),
+	// the expected accesses land in the 2^26-2^28 region (the paper
+	// rounds its arithmetic up to "at least 2^28"; our evaluation of the
+	// same formula gives 2^26.1 — see EXPERIMENTS.md).
+	acc := BlindContentionExpectedAccesses(1024, 7, 16, 512)
+	if lg := math.Log2(acc); lg < 25.5 || lg > 28.5 {
+		t.Errorf("expected accesses = 2^%.1f, want 2^26-2^28", lg)
+	}
+}
+
+func TestBlindContentionMonteCarloAgreesWithFormula(t *testing.T) {
+	// Validate Equation (1) on a small geometry by direct simulation.
+	const S, W, n = 64, 4, 80
+	analytic := BlindContentionP(n, S, W)
+	sim := BlindContentionMonteCarlo(n, S, W, 20000, 7)
+	if math.Abs(analytic-sim) > 0.02 {
+		t.Errorf("Eq.(1) = %.4f vs Monte Carlo %.4f", analytic, sim)
+	}
+}
+
+func TestPHTReuseAccessesMatchesPaper(t *testing.T) {
+	// Paper Section VI-B: I=13, T=12, C=2, U=1 ⇒ ≈2^28 accesses.
+	acc := PHTReuseAccesses(13, 12, 2, 1)
+	if lg := math.Log2(acc); lg < 27 || lg > 29 {
+		t.Errorf("Eq.(2) = 2^%.2f, want ≈2^28", lg)
+	}
+}
+
+func TestGEMAccessEstimateMatchesPaper(t *testing.T) {
+	// Paper Section III-C: ≈2^16 accesses for a 7K-entry BTB.
+	if lg := math.Log2(GEMAccessEstimate(7168)); lg < 15.5 || lg > 16.5 {
+		t.Errorf("GEM estimate = 2^%.2f, want ≈2^16", lg)
+	}
+}
+
+func TestPPPAccessEstimateMatchesPaper(t *testing.T) {
+	// Paper Section VI-A: S=1024, W=7, 1% per-run success ⇒ ≈2^27.
+	if lg := math.Log2(PPPAccessEstimate(1024, 7, 0, 0.01)); lg < 26 || lg > 28.5 {
+		t.Errorf("PPP estimate = 2^%.2f, want ≈2^27", lg)
+	}
+}
+
+// smallCfg builds a scaled-down core so eviction-set searches are fast.
+func smallCfg(seed uint64) secure.Config {
+	return secure.Config{Threads: 2, Seed: seed, Scale: 1.0 / 16}
+}
+
+func TestGEMFindsEvictionSetOnBaseline(t *testing.T) {
+	bpu := secure.NewBaseline(smallCfg(3))
+	h := NewHarness(bpu, attackerCtx(), victimCtx())
+	cfg := PPPConfig{S: 64, W: 7, Seed: 3}
+	x := secure.Branch{PC: 0x123400, Target: 0x123800, Taken: true, Kind: secure.Jump}
+	res := GEM(h, cfg, x)
+	if !res.Found {
+		t.Fatal("GEM failed to find an eviction set on the unprotected BTB")
+	}
+	if !res.Verified {
+		t.Fatal("GEM's eviction set does not verify against the victim")
+	}
+	if res.Accesses == 0 {
+		t.Fatal("access metering broken")
+	}
+	t.Logf("GEM: set size %d, accesses %d", len(res.EvictionSet), res.Accesses)
+}
+
+func TestPPPOnBaselineVsHyBP(t *testing.T) {
+	// The contrast of Section VI-A: Algorithm 1 succeeds readily on the
+	// unprotected BTB and almost never within one key epoch on HyBP
+	// (paper: ≈1% per-run success). Run several trials each.
+	const trials = 6
+	cfg := PPPConfig{S: 64, W: 7, Repeats: 3}
+	x := secure.Branch{PC: 0x20F00, Target: 0x21000, Taken: true, Kind: secure.Jump}
+	gadget := []secure.Branch{
+		{PC: 0x30000, Target: 0x30100, Taken: true, Kind: secure.Jump},
+	}
+
+	baseWins := 0
+	var baseAccesses uint64
+	for i := 0; i < trials; i++ {
+		bpu := secure.NewBaseline(smallCfg(uint64(10 + i)))
+		h := NewHarness(bpu, attackerCtx(), victimCtx())
+		cfg.Seed = uint64(100 + i)
+		res := PPP(h, cfg, x, gadget)
+		if res.Found && res.Verified {
+			baseWins++
+			baseAccesses += res.Accesses
+		}
+	}
+
+	hybpWins := 0
+	for i := 0; i < trials; i++ {
+		kc := keys.DefaultConfig(uint64(33 + i))
+		kc.AccessThreshold = 0 // isolate the randomization effect from key changes
+		c := smallCfg(uint64(33 + i))
+		c.Keys = kc
+		bpu := secure.NewHyBP(c)
+		h := NewHarness(bpu, attackerCtx(), victimCtx())
+		cfg.Seed = uint64(200 + i)
+		res := PPP(h, cfg, x, gadget)
+		if res.Found && res.Verified {
+			hybpWins++
+		}
+	}
+
+	t.Logf("PPP wins: baseline %d/%d (avg accesses %d), hybp %d/%d",
+		baseWins, trials, baseAccesses/uint64(maxInt(baseWins, 1)), hybpWins, trials)
+	if baseWins < trials/2+1 {
+		t.Errorf("PPP on baseline won only %d/%d trials", baseWins, trials)
+	}
+	if hybpWins >= baseWins {
+		t.Errorf("PPP on HyBP won %d/%d, not clearly below baseline %d/%d", hybpWins, trials, baseWins, trials)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pocCfg(seed uint64) PoCConfig {
+	cfg := DefaultPoCConfig(seed)
+	cfg.Iterations = 60 // scaled down for test time; the CLI runs 10 000
+	return cfg
+}
+
+func TestBTBTrainingPoC(t *testing.T) {
+	// Paper Section VI-D: baseline training accuracy ≈96.5%; HyBP <1%.
+	base := BTBTrainingPoC(secure.NewBaseline(smallCfg(5)), attackerCtx(), victimCtx(), pocCfg(5))
+	if base.SuccessRate() < 0.9 {
+		t.Errorf("baseline BTB training success = %.3f, want ≥0.9", base.SuccessRate())
+	}
+	hy := BTBTrainingPoC(secure.NewHyBP(smallCfg(5)), attackerCtx(), victimCtx(), pocCfg(5))
+	if hy.SuccessRate() > 0.01 {
+		t.Errorf("hybp BTB training success = %.3f, want <1%%", hy.SuccessRate())
+	}
+	if hy.FollowRate() > 0.05 {
+		t.Errorf("hybp BTB follow rate = %.4f, want near zero", hy.FollowRate())
+	}
+}
+
+func TestPHTTrainingPoC(t *testing.T) {
+	base := PHTTrainingPoC(secure.NewBaseline(smallCfg(7)), attackerCtx(), victimCtx(), pocCfg(7))
+	if base.SuccessRate() < 0.9 {
+		t.Errorf("baseline PHT training success = %.3f, want ≥0.9", base.SuccessRate())
+	}
+	hy := PHTTrainingPoC(secure.NewHyBP(smallCfg(7)), attackerCtx(), victimCtx(), pocCfg(7))
+	if hy.SuccessRate() > 0.01 {
+		t.Errorf("hybp PHT training success = %.3f, want <1%%", hy.SuccessRate())
+	}
+}
+
+func TestPartitionAlsoDefeatsTraining(t *testing.T) {
+	// Physical isolation must defeat cross-context training too (Table
+	// III's "Defend" row for physical isolation).
+	p := BTBTrainingPoC(secure.NewPartition(smallCfg(9)), attackerCtx(), victimCtx(), pocCfg(9))
+	if p.SuccessRate() > 0.01 {
+		t.Errorf("partition BTB training success = %.3f, want ≈0", p.SuccessRate())
+	}
+}
+
+func TestFlushDoesNotProtectSMT(t *testing.T) {
+	// Table III: Flush gives no SMT protection — the attacker on the
+	// other hardware thread trains between flushes.
+	f := BTBTrainingPoC(secure.NewFlush(smallCfg(11)), attackerCtx(), victimCtx(), pocCfg(11))
+	if f.SuccessRate() < 0.9 {
+		t.Errorf("flush SMT BTB training success = %.3f; expected vulnerable (≥0.9)", f.SuccessRate())
+	}
+}
+
+func TestHarnessMetering(t *testing.T) {
+	bpu := secure.NewBaseline(smallCfg(1))
+	h := NewHarness(bpu, attackerCtx(), victimCtx())
+	h.attackerBranch(0x1000)
+	h.RunVictim([]secure.Branch{{PC: 0x2000, Target: 0x2100, Taken: true, Kind: secure.Jump}}, nil)
+	if h.Accesses != 2 {
+		t.Fatalf("accesses = %d, want 2", h.Accesses)
+	}
+}
+
+func TestMultiVictimMatchesPaper(t *testing.T) {
+	// Section VI-C: 1 target needs ≈2^28 accesses; 16 targets ≈2^24.
+	single := math.Exp2(28)
+	if got := MultiVictimAccesses(single, 16); math.Abs(math.Log2(got)-24) > 0.01 {
+		t.Errorf("16-target cost = 2^%.2f, want 2^24", math.Log2(got))
+	}
+	if got := MultiVictimAccesses(single, 0); got != single {
+		t.Errorf("degenerate target count mishandled: %v", got)
+	}
+	// The safe limit at the default Linux slice (2^24 cycles ≈ accesses).
+	if got := SafeVictimBranchLimit(single, math.Exp2(24)); got != 16 {
+		t.Errorf("safe victim branch limit = %d, want 16", got)
+	}
+	if SafeVictimBranchLimit(single, 0) != 0 {
+		t.Error("zero epoch should yield 0")
+	}
+}

@@ -1,0 +1,317 @@
+package attack
+
+import (
+	"hybp/internal/rng"
+	"hybp/internal/secure"
+)
+
+// Harness wires an attacker context and a victim context to one BPU and
+// meters every access (the unit of cost in all of the paper's Section VI
+// analyses). The attacker only learns what its own accesses return —
+// hit/miss and latency — which is what the hardware timing channel exposes.
+type Harness struct {
+	BPU      secure.BPU
+	Attacker secure.Context
+	Victim   secure.Context
+
+	// Accesses counts every BPU access issued through the harness.
+	Accesses uint64
+
+	now uint64
+}
+
+// NewHarness builds a harness over bpu with the given contexts.
+func NewHarness(bpu secure.BPU, attacker, victim secure.Context) *Harness {
+	return &Harness{BPU: bpu, Attacker: attacker, Victim: victim}
+}
+
+// attackerBranch executes a taken attacker branch at pc and reports the
+// BPU's response (the timing observation).
+func (h *Harness) attackerBranch(pc uint64) secure.Result {
+	h.Accesses++
+	h.now += 4
+	return h.BPU.Access(h.Attacker, secure.Branch{
+		PC: pc, Target: pc + 0x40, Taken: true, Kind: secure.Jump,
+	}, h.now)
+}
+
+// victimBranch executes one victim branch.
+func (h *Harness) victimBranch(b secure.Branch) secure.Result {
+	h.Accesses++
+	h.now += 4
+	return h.BPU.Access(h.Victim, b, h.now)
+}
+
+// RunVictim executes the victim's gadget code, optionally including the
+// target branch x.
+func (h *Harness) RunVictim(gadget []secure.Branch, x *secure.Branch) {
+	for _, b := range gadget {
+		h.victimBranch(b)
+	}
+	if x != nil {
+		h.victimBranch(*x)
+	}
+}
+
+// prime touches every candidate, installing the attacker's entries.
+func (h *Harness) prime(cands []uint64) {
+	for _, pc := range cands {
+		h.attackerBranch(pc)
+	}
+}
+
+// probeMisses re-touches every candidate and counts misses (evictions the
+// attacker senses as prediction delay).
+func (h *Harness) probeMisses(cands []uint64) int {
+	miss := 0
+	for _, pc := range cands {
+		if res := h.attackerBranch(pc); !res.RawHit {
+			miss++
+		}
+	}
+	return miss
+}
+
+// candidatePC builds an attacker branch address whose plain last-level set
+// is set, with the way-disambiguation and randomization bits placed just
+// above the set bits — inside the partial-tag windows of every hierarchy
+// level, as a real attacker laying out candidate branches in its own
+// address space would arrange.
+func candidatePC(S int, set uint64, way int, r *rng.Rand) uint64 {
+	setBits := uint(0)
+	for v := S; v > 1; v >>= 1 {
+		setBits++
+	}
+	return (set | uint64(way+1)<<setBits | (r.Uint64()&0x1F)<<(setBits+6)) << 1
+}
+
+// makeFiller builds the targeted thrashing lines: branches whose
+// last-level sets share the victim branch's upper-level (L0/L1) index but
+// are not the victim's own set. Priming them flushes the victim's branch
+// (and the subset under test, which shares the same index path) out of the
+// small tables and down into the shared last level, where the contention
+// the attacker senses actually happens — while the filler's own last-level
+// footprint stays entirely outside the measured sets (their home sets are
+// excluded from candidacy). Without this flushing the upper levels absorb
+// both parties and no eviction is ever observable — precisely HyBP's
+// filtering argument (Section V-B): the attacker must pay extra accesses
+// to see anything at all, and against HyBP's *private* upper levels no
+// amount of attacker flushing can dislodge the victim's entries.
+func makeFiller(S, l1Sets int, victimSet uint64, r *rng.Rand) []uint64 {
+	var out []uint64
+	for s := (victimSet + uint64(l1Sets)) % uint64(S); s != victimSet; s = (s + uint64(l1Sets)) % uint64(S) {
+		// Two lines per aliasing set comfortably overflow the 2-way
+		// upper levels along the shared index path.
+		out = append(out, candidatePC(S, s, 20, r), candidatePC(S, s, 21, r))
+	}
+	return out
+}
+
+// sharesUpperPath reports whether set aliases victimSet in the upper
+// levels (same L1 index); such sets carry filler lines and are excluded
+// from candidacy.
+func sharesUpperPath(set, victimSet uint64, l1Sets int) bool {
+	return set != victimSet && set%uint64(l1Sets) == victimSet%uint64(l1Sets)
+}
+
+// subsetScore measures one candidate subset's conflict signal: the victim
+// (re-)executes x so it is parked in the tables, the attacker installs the
+// subset and floods the upper levels with filler, and the probe counts the
+// attacker's misses. A subset sharing x's last-level set is permanently
+// overfull (W lines + x in W ways), so every pass evicts somebody and the
+// probe sees ≈1 miss; a clean subset coexists with everything (filler is
+// confined to its reserved sets) and probes 0. This realizes Algorithm 1's
+// test(G, g∪x) sensing adapted to the exclusive hierarchy, where promotion
+// holes make one-shot differential tests blind (evictions happen only
+// while a set is genuinely overfull).
+func (h *Harness) subsetScore(sub, filler []uint64, gadget []secure.Branch, x *secure.Branch) int {
+	if x != nil {
+		h.victimBranch(*x) // park or refresh the victim branch
+	}
+	h.prime(sub)
+	h.prime(filler)
+	h.RunVictim(gadget, nil)
+	return h.probeMisses(sub)
+}
+
+// groupScore sums subset scores over a group with repeats (the expectation
+// estimation of Algorithm 1's lines 9/11).
+func (h *Harness) groupScore(group [][]uint64, filler []uint64, gadget []secure.Branch, x *secure.Branch, repeats int) int {
+	s := 0
+	for r := 0; r < repeats; r++ {
+		for _, sub := range group {
+			s += h.subsetScore(sub, filler, gadget, x)
+		}
+	}
+	return s
+}
+
+// PPPConfig parameterizes Algorithm 1.
+type PPPConfig struct {
+	// S and W describe the last-level BTB under attack.
+	S, W int
+	// L1Sets is the L1 BTB set count, which determines the upper-level
+	// aliasing the attacker exploits to flush the victim's branch
+	// downward; zero defaults to S/4 (the paper geometry's ratio).
+	L1Sets int
+	// Repeats is the expectation-estimation repeat count of the binary
+	// search tests (lines 9/11 of Algorithm 1).
+	Repeats int
+	// Seed randomizes candidate layout.
+	Seed uint64
+}
+
+func (c *PPPConfig) defaults() {
+	if c.Repeats <= 0 {
+		c.Repeats = 9
+	}
+	if c.L1Sets <= 0 {
+		c.L1Sets = c.S / 4
+		if c.L1Sets < 1 {
+			c.L1Sets = 1
+		}
+	}
+}
+
+// PPPResult reports one Algorithm 1 run.
+type PPPResult struct {
+	// Found reports whether a candidate eviction set was produced.
+	Found bool
+	// EvictionSet holds the surviving candidate PCs (W on success).
+	EvictionSet []uint64
+	// Verified reports whether the set actually evicts the victim branch
+	// when replayed (checked through the timing channel, not oracles).
+	Verified bool
+	// Accesses is the total BPU accesses consumed.
+	Accesses uint64
+}
+
+// PPP runs the paper's Algorithm 1: split a candidate set covering every
+// plain-mapped set into S subsets of W branches (step 1), prune
+// self-conflicting subsets (step 2, lines 2-6), then binary-search for the
+// subset conflicting with the victim's target branch x, deciding each step
+// by comparing measured misses with and without the victim executing x
+// (step 3, lines 7-16).
+func PPP(h *Harness, cfg PPPConfig, x secure.Branch, gadget []secure.Branch) PPPResult {
+	cfg.defaults()
+	r := rng.New(cfg.Seed ^ 0xA77AC4)
+	start := h.Accesses
+
+	// Step 1: candidate set. The attacker controls virtual addresses:
+	// subset i holds W branches whose plain index is i with distinct
+	// tags. Sets sharing the victim branch's upper-level index path are
+	// reserved for the attacker's flushing lines and skipped.
+	xset := (x.PC >> 1) & uint64(cfg.S-1)
+	var subsets [][]uint64
+	for i := 0; i < cfg.S; i++ {
+		if sharesUpperPath(uint64(i), xset, cfg.L1Sets) {
+			continue
+		}
+		ways := make([]uint64, cfg.W)
+		for w := range ways {
+			ways[w] = candidatePC(cfg.S, uint64(i), w, r)
+		}
+		subsets = append(subsets, ways)
+	}
+
+	// Step 2: eliminate self-conflicts.
+	var clean [][]uint64
+	for _, sub := range subsets {
+		h.prime(sub)
+		if h.probeMisses(sub) == 0 {
+			clean = append(clean, sub)
+		}
+	}
+
+	// Step 3: binary search with expectation tests.
+	filler := makeFiller(cfg.S, cfg.L1Sets, xset, r)
+	threshold := cfg.Repeats/3 + 1 // expect ≈0.5 misses per repeat on conflict
+	cur := clean
+	for len(cur) > 1 {
+		mid := len(cur) / 2
+		g1, g2 := cur[:mid], cur[mid:]
+		if h.groupScore(g1, filler, gadget, &x, cfg.Repeats) >= threshold {
+			cur = g1
+		} else if h.groupScore(g2, filler, gadget, &x, cfg.Repeats) >= threshold {
+			cur = g2
+		} else {
+			return PPPResult{Accesses: h.Accesses - start}
+		}
+	}
+	if len(cur) == 0 {
+		return PPPResult{Accesses: h.Accesses - start}
+	}
+
+	res := PPPResult{Found: true, EvictionSet: cur[0]}
+	res.Verified = verifyEvictionSet(h, cur[0], filler, x, cfg.Repeats)
+	res.Accesses = h.Accesses - start
+	return res
+}
+
+// verifyEvictionSet replays the candidate set against the victim branch
+// through the timing channel. The control arm runs first *without* victim
+// executions: any previously parked copy of x decays (overfull churn
+// evicts it and nothing reinstalls it), so its score trends to zero; the
+// live arm keeps x parked and must score persistently higher.
+func verifyEvictionSet(h *Harness, set, filler []uint64, x secure.Branch, repeats int) bool {
+	// The control runs first: a previously parked copy of x decays only
+	// when the overfull churn happens to evict it, so the control score
+	// starts elevated and trends to zero; the margin accounts for that.
+	control := h.groupScore([][]uint64{set}, filler, nil, nil, repeats*2)
+	live := h.groupScore([][]uint64{set}, filler, nil, &x, repeats*2)
+	margin := repeats / 2
+	if margin < 2 {
+		margin = 2
+	}
+	return live >= control+margin
+}
+
+// GEM runs the group-elimination method of Section III-C against the BPU:
+// starting from a candidate pool aligned with the victim branch's plain
+// set, it repeatedly drops groups whose removal preserves the eviction
+// signal, converging to a minimal eviction set in O(L) tests.
+func GEM(h *Harness, cfg PPPConfig, x secure.Branch) PPPResult {
+	cfg.defaults()
+	r := rng.New(cfg.Seed ^ 0x6E3)
+	start := h.Accesses
+
+	pool := make([]uint64, 0, cfg.W*2)
+	base := (x.PC >> 1) & uint64(cfg.S-1)
+	for w := 0; w < cfg.W*2; w++ {
+		pool = append(pool, candidatePC(cfg.S, base, w, r))
+	}
+	filler := makeFiller(cfg.S, cfg.L1Sets, base, r)
+
+	evicts := func(set []uint64) bool {
+		return h.groupScore([][]uint64{set}, filler, nil, &x, cfg.Repeats) >= cfg.Repeats/3+1
+	}
+
+	if !evicts(pool) {
+		return PPPResult{Accesses: h.Accesses - start}
+	}
+	cur := pool
+	groups := cfg.W + 1
+	for len(cur) > cfg.W {
+		gsize := (len(cur) + groups - 1) / groups
+		removed := false
+		for gi := 0; gi < len(cur); gi += gsize {
+			end := gi + gsize
+			if end > len(cur) {
+				end = len(cur)
+			}
+			trial := append(append([]uint64{}, cur[:gi]...), cur[end:]...)
+			if len(trial) >= cfg.W && evicts(trial) {
+				cur = trial
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	res := PPPResult{Found: len(cur) <= cfg.W*2, EvictionSet: cur}
+	res.Verified = verifyEvictionSet(h, cur, filler, x, cfg.Repeats)
+	res.Accesses = h.Accesses - start
+	return res
+}

@@ -1,0 +1,155 @@
+package attack
+
+import (
+	"hybp/internal/rng"
+	"hybp/internal/secure"
+)
+
+// The paper's Section VI-C motivates its key-change analysis with the
+// classic victim of branch-predictor side channels: square-and-multiply
+// exponentiation, whose multiply step executes only for the 1-bits of the
+// secret exponent (RSA/Diffie-Hellman). This file builds that victim and a
+// BTB reuse attack on it (the Evtyushkin-style channel of the paper's
+// "Jump over ASLR" citation [29]): the multiply step is a call at a fixed,
+// attacker-known address, and on a shared unprotected BTB each execution
+// of that call overwrites the attacker's aliased entry — a per-bit oracle.
+// The result is an actual secret-bits-recovered comparison between the
+// defense mechanisms, not just a training success rate.
+
+// SquareMultiplyVictim executes modular exponentiation with a
+// secret-dependent call: for each exponent bit, the multiply call at
+// MulCallPC executes iff the bit is 1.
+type SquareMultiplyVictim struct {
+	// Secret is the exponent bits, most significant first.
+	Secret []bool
+	// MulCallPC is the secret-dependent multiply call's address (known to
+	// the attacker, who has the victim's code — paper Section IV).
+	MulCallPC uint64
+	// MulTarget is the multiply routine's entry point.
+	MulTarget uint64
+
+	bpu  secure.BPU
+	ctx  secure.Context
+	now  *uint64
+	rand *rng.Rand // data-dependent directions of the bignum inner loops
+}
+
+// NewSquareMultiplyVictim builds the victim over bpu with a random secret
+// of n bits.
+func NewSquareMultiplyVictim(bpu secure.BPU, ctx secure.Context, n int, seed uint64, now *uint64) *SquareMultiplyVictim {
+	r := rng.New(seed ^ 0x25A)
+	secret := make([]bool, n)
+	for i := range secret {
+		secret[i] = r.Bool(0.5)
+	}
+	return &SquareMultiplyVictim{
+		Secret:    secret,
+		MulCallPC: 0x555000,
+		MulTarget: 0x560000,
+		bpu:       bpu,
+		ctx:       ctx,
+		now:       now,
+		rand:      rng.New(seed ^ 0x5D1),
+	}
+}
+
+// RunBit executes one exponentiation step for bit i: the multi-word square
+// (a bignum inner loop with data-dependent carry branches) and, iff the bit
+// is set, the multiply call.
+func (v *SquareMultiplyVictim) RunBit(i int) {
+	// Square step: the bignum inner loop (8 limbs, carry branches).
+	for limb := 0; limb < 8; limb++ {
+		pc := v.MulCallPC - 0x2000 + uint64(limb)*0x40
+		*v.now += 4
+		v.bpu.Access(v.ctx, secure.Branch{
+			PC: pc, Target: pc + 0x20, Taken: v.rand.Bool(0.5), Kind: secure.Cond,
+		}, *v.now)
+	}
+	// The secret-dependent multiply: a call executed only for 1-bits.
+	if v.Secret[i] {
+		*v.now += 4
+		v.bpu.Access(v.ctx, secure.Branch{
+			PC: v.MulCallPC, Target: v.MulTarget, Taken: true, Kind: secure.Call,
+		}, *v.now)
+		*v.now += 4
+		v.bpu.Access(v.ctx, secure.Branch{
+			PC: v.MulTarget + 0x200, Target: v.MulCallPC + 4, Taken: true, Kind: secure.Return,
+		}, *v.now)
+	}
+}
+
+// RSALeakResult reports a key-recovery experiment.
+type RSALeakResult struct {
+	Bits          int
+	RecoveredBits int
+	// Accuracy is the fraction of exponent bits the attacker recovered;
+	// 0.5 is chance.
+	Accuracy float64
+	// Accesses is the attacker's total BPU access cost.
+	Accesses uint64
+}
+
+// RSAKeyLeakConfig tunes the attack.
+type RSAKeyLeakConfig struct {
+	// Repeats majority-votes each bit over several full exponentiations
+	// (the key is reused across decryptions). Default 3.
+	Repeats int
+}
+
+// RSAKeyLeak runs the BTB reuse attack of the paper's threat model: the
+// victim single-steps through its exponentiation (SGX-Step, Section IV),
+// and around every bit the attacker plants its own entry at the multiply
+// call's address and then checks whether the victim's execution replaced
+// it. On the unprotected shared BTB the oracle is near-perfect; under
+// HyBP (or any physical isolation) the victim's entries live in a
+// different world and recovery collapses to guessing.
+func RSAKeyLeak(bpu secure.BPU, attacker, victim secure.Context, bits int, seed uint64, cfg RSAKeyLeakConfig) RSALeakResult {
+	if cfg.Repeats == 0 {
+		cfg.Repeats = 3
+	}
+	now := uint64(0)
+	v := NewSquareMultiplyVictim(bpu, victim, bits, seed, &now)
+
+	var accesses uint64
+	attTarget := v.MulCallPC + 0xA0 // the attacker's own branch target at the aliased PC
+	plant := func() {
+		now += 4
+		accesses++
+		bpu.Access(attacker, secure.Branch{
+			PC: v.MulCallPC, Target: attTarget, Taken: true, Kind: secure.Jump,
+		}, now)
+	}
+	// probe reports whether the attacker's entry survived untouched.
+	probe := func() bool {
+		now += 4
+		accesses++
+		res := bpu.Access(attacker, secure.Branch{
+			PC: v.MulCallPC, Target: attTarget, Taken: true, Kind: secure.Jump,
+		}, now)
+		return res.BTBHit
+	}
+
+	votes := make([]int, bits)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for i := range v.Secret {
+			plant()
+			v.RunBit(i)
+			if !probe() { // entry replaced or re-targeted ⇒ the multiply ran
+				votes[i]++
+			}
+		}
+	}
+	recovered := 0
+	for i := range v.Secret {
+		guess := votes[i]*2 > cfg.Repeats
+		if guess == v.Secret[i] {
+			recovered++
+		}
+	}
+	return RSALeakResult{
+		Bits:          bits,
+		RecoveredBits: recovered,
+		Accuracy:      float64(recovered) / float64(bits),
+		Accesses:      accesses,
+	}
+}

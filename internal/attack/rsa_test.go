@@ -1,0 +1,42 @@
+package attack
+
+import (
+	"testing"
+
+	"hybp/internal/secure"
+)
+
+func TestRSAKeyLeakBaselineVsHyBP(t *testing.T) {
+	// Section VI-C's motivating victim: on the unprotected baseline the
+	// attacker recovers (nearly) the whole exponent; HyBP reduces it to
+	// coin flipping.
+	const bits = 256
+	base := RSAKeyLeak(secure.NewBaseline(secure.Config{Threads: 2, Seed: 3}), attackerCtx(), victimCtx(), bits, 3, RSAKeyLeakConfig{})
+	if base.Accuracy < 0.9 {
+		t.Errorf("baseline key recovery = %.3f, want ≥0.9", base.Accuracy)
+	}
+	hy := RSAKeyLeak(secure.NewHyBP(secure.Config{Threads: 2, Seed: 3}), attackerCtx(), victimCtx(), bits, 3, RSAKeyLeakConfig{})
+	if hy.Accuracy > 0.65 {
+		t.Errorf("hybp key recovery = %.3f, want ≈0.5 (chance)", hy.Accuracy)
+	}
+	t.Logf("recovered: baseline %d/%d, hybp %d/%d", base.RecoveredBits, bits, hy.RecoveredBits, bits)
+}
+
+func TestRSAKeyLeakPartition(t *testing.T) {
+	const bits = 128
+	p := RSAKeyLeak(secure.NewPartition(secure.Config{Threads: 2, Seed: 5}), attackerCtx(), victimCtx(), bits, 5, RSAKeyLeakConfig{})
+	if p.Accuracy > 0.65 {
+		t.Errorf("partition key recovery = %.3f, want ≈0.5", p.Accuracy)
+	}
+}
+
+func TestSquareMultiplyVictimDeterminism(t *testing.T) {
+	now1, now2 := uint64(0), uint64(0)
+	a := NewSquareMultiplyVictim(secure.NewBaseline(smallCfg(7)), victimCtx(), 64, 9, &now1)
+	b := NewSquareMultiplyVictim(secure.NewBaseline(smallCfg(7)), victimCtx(), 64, 9, &now2)
+	for i := range a.Secret {
+		if a.Secret[i] != b.Secret[i] {
+			t.Fatal("same-seed secrets differ")
+		}
+	}
+}

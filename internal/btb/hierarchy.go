@@ -1,0 +1,204 @@
+package btb
+
+// KeyFunc maps a branch PC to the (set index, tag) pair used at a given
+// hierarchy level. Defense mechanisms supply closures: the baseline uses
+// plain PC bit slicing, Partition adds per-context set offsets, and HyBP
+// routes the last level through the randomized index keys table. The
+// hierarchy never sees a raw mapping policy — only this function — so every
+// mechanism exercises identical structural code.
+type KeyFunc func(level int, pc uint64) (index, tag uint64)
+
+// Hierarchy is a multi-level exclusive ("victim") BTB: lookups probe levels
+// in order; a hit at a lower level moves the entry to L0, demoting victims
+// downward; entries evicted from level i are demoted to level i+1; entries
+// evicted from the last level are dropped.
+//
+// The exclusive organization produces the access-filtering property HyBP's
+// security argument relies on (paper Section V-B): branches that hit in the
+// small upper levels never probe the shared last level, so the information
+// flow an attacker can observe there is reduced to the upper levels' miss
+// rate. LastLevelProbeRate exposes that flow directly.
+type Hierarchy struct {
+	levels []*Table
+	keyFn  KeyFunc
+}
+
+// NewHierarchy assembles a hierarchy over tables (ordered from L0 to the
+// last level) using keyFn for PC mapping.
+func NewHierarchy(tables []*Table, keyFn KeyFunc) *Hierarchy {
+	if len(tables) == 0 {
+		panic("btb: hierarchy needs at least one level")
+	}
+	if keyFn == nil {
+		panic("btb: hierarchy needs a key function")
+	}
+	return &Hierarchy{levels: tables, keyFn: keyFn}
+}
+
+// SetKeyFunc swaps the PC mapping; mechanisms call this when the active
+// context (and hence key material) changes.
+func (h *Hierarchy) SetKeyFunc(fn KeyFunc) { h.keyFn = fn }
+
+// Levels returns the number of levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Level returns the table at level i.
+func (h *Hierarchy) Level(i int) *Table { return h.levels[i] }
+
+// Lookup probes levels in order for pc. On a hit it returns the stored
+// (possibly content-encoded) target, the hit level, and true, after moving
+// the entry to L0 (for hits below L0). The caller decodes the target with
+// its content key; a wrong-key decode yields a useless target, which is the
+// logical-isolation property randomized contents provide.
+func (h *Hierarchy) Lookup(pc uint64) (target uint64, level int, hit bool) {
+	for lv, tbl := range h.levels {
+		idx, tag := h.keyFn(lv, pc)
+		if e, ok := tbl.Lookup(idx, tag); ok {
+			if lv > 0 {
+				tbl.Invalidate(idx, tag)
+				h.insertAt(0, e)
+			}
+			return e.Target, lv, true
+		}
+	}
+	return 0, -1, false
+}
+
+// Probe reports whether pc is present at any level without statistics or
+// migration side effects. Tests and oracles use it; attack code must not.
+func (h *Hierarchy) Probe(pc uint64) (level int, ok bool) {
+	for lv, tbl := range h.levels {
+		idx, tag := h.keyFn(lv, pc)
+		if _, hit := tbl.Probe(idx, tag); hit {
+			return lv, true
+		}
+	}
+	return -1, false
+}
+
+// Insert records a resolved taken branch: the entry lands in L0 and
+// displaced entries cascade down. Stale copies of the same branch at lower
+// levels are invalidated to preserve exclusivity.
+func (h *Hierarchy) Insert(pc, target uint64, owner uint16) {
+	for lv := 1; lv < len(h.levels); lv++ {
+		idx, tag := h.keyFn(lv, pc)
+		h.levels[lv].Invalidate(idx, tag)
+	}
+	h.insertAt(0, Entry{PC: pc, Target: target, Owner: owner, Valid: true})
+}
+
+// insertAt places e at level lv, demoting eviction victims down the
+// hierarchy. Victim remapping uses the entry's PC metadata under the
+// *current* key function; entries belonging to stale contexts are flushed
+// at context switches by the mechanisms before the mapping changes matter
+// (see internal/secure).
+func (h *Hierarchy) insertAt(lv int, e Entry) {
+	for ; lv < len(h.levels); lv++ {
+		idx, tag := h.keyFn(lv, e.PC)
+		e.Tag = tag
+		victim, evicted := h.levels[lv].Insert(idx, e)
+		if !evicted {
+			return
+		}
+		e = victim
+	}
+	// Victim of the last level is dropped.
+}
+
+// Flush invalidates every level.
+func (h *Hierarchy) Flush() {
+	for _, t := range h.levels {
+		t.Flush()
+	}
+}
+
+// FlushLevels invalidates levels [from, to) only; HyBP flushes the
+// physically isolated upper levels at context switch while the randomized
+// last level survives under new keys.
+func (h *Hierarchy) FlushLevels(from, to int) {
+	for i := from; i < to && i < len(h.levels); i++ {
+		h.levels[i].Flush()
+	}
+}
+
+// FlushOwner invalidates owner's entries at every level.
+func (h *Hierarchy) FlushOwner(owner uint16) {
+	for _, t := range h.levels {
+		t.FlushOwner(owner)
+	}
+}
+
+// LastLevelProbeRate returns the fraction of hierarchy lookups that reached
+// the last level — the "information flow" m the paper's Section V-B filter
+// argument quantifies.
+func (h *Hierarchy) LastLevelProbeRate() float64 {
+	if len(h.levels) < 2 {
+		return 1
+	}
+	first := h.levels[0].Stats().Lookups
+	if first == 0 {
+		return 0
+	}
+	last := h.levels[len(h.levels)-1].Stats().Lookups
+	return float64(last) / float64(first)
+}
+
+// StorageBits sums the storage of all levels.
+func (h *Hierarchy) StorageBits() int {
+	n := 0
+	for _, t := range h.levels {
+		n += t.StorageBits()
+	}
+	return n
+}
+
+// ResetStats clears statistics at every level.
+func (h *Hierarchy) ResetStats() {
+	for _, t := range h.levels {
+		t.ResetStats()
+	}
+}
+
+// ZenConfig returns the three-level geometry of the paper's baseline BTB
+// (AMD Zen2): 16-entry L0, 512-entry L1, 7K-entry L2 (1024 sets × 7 ways),
+// 60-bit entries, random replacement, with per-level latencies used by the
+// timing model (L0 same-cycle, L1 one bubble, L2 four cycles per Table IV).
+func ZenConfig(seed uint64) []Config {
+	return []Config{
+		{Sets: 8, Ways: 2, Latency: 0, EntryBits: 60, Seed: seed ^ 0x10},
+		{Sets: 256, Ways: 2, Latency: 1, EntryBits: 60, Seed: seed ^ 0x11},
+		{Sets: 1024, Ways: 7, Latency: 4, EntryBits: 60, Seed: seed ^ 0x12},
+	}
+}
+
+// NewZenHierarchy builds the baseline three-level BTB with keyFn.
+func NewZenHierarchy(seed uint64, keyFn KeyFunc) *Hierarchy {
+	cfgs := ZenConfig(seed)
+	tables := make([]*Table, len(cfgs))
+	for i, c := range cfgs {
+		tables[i] = New(c)
+	}
+	return NewHierarchy(tables, keyFn)
+}
+
+// PlainKeyFunc is the unprotected baseline mapping: the set index comes
+// from the PC bits above the 2-byte instruction alignment and the tag from
+// the bits above the index, truncated to tagBits — the conventional BTB
+// arrangement the attacks in the literature assume.
+func PlainKeyFunc(setsPerLevel []int, tagBits uint) KeyFunc {
+	masks := make([]uint64, len(setsPerLevel))
+	shifts := make([]uint, len(setsPerLevel))
+	for i, s := range setsPerLevel {
+		masks[i] = uint64(s - 1)
+		b := uint(0)
+		for v := s; v > 1; v >>= 1 {
+			b++
+		}
+		shifts[i] = b
+	}
+	tagMask := uint64(1)<<tagBits - 1
+	return func(level int, pc uint64) (uint64, uint64) {
+		x := pc >> 1
+		return x & masks[level], (x >> shifts[level]) & tagMask
+	}
+}

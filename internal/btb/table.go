@@ -1,0 +1,310 @@
+// Package btb implements the branch target buffer substrate: a generic
+// set-associative predictor table and the three-level BTB hierarchy of the
+// paper's baseline core (AMD Zen2: 16-entry L0, 512-entry L1, 7K-entry L2,
+// 60-bit entries, random replacement — paper Figure 3 caption).
+//
+// The table is deliberately mechanism-agnostic: callers map a branch PC to a
+// (set index, tag) pair and encode the stored content themselves. The secure
+// mechanisms in internal/secure provide those mappings (identity for the
+// baseline, partition offsets for Partition, per-context keyed permutations
+// for HyBP), so one structure serves every defense under test.
+package btb
+
+import "hybp/internal/rng"
+
+// Entry is one BTB entry. Tag and Target are the stored (possibly encoded)
+// bits that matching and prediction use. PC and Owner are simulator
+// metadata: PC lets the hierarchy controller recompute per-level mappings
+// when an entry migrates between levels, and Owner attributes evictions for
+// the information-flow statistics. Neither participates in matching — the
+// security experiments interact with the table only through Index/Tag, as
+// hardware would.
+type Entry struct {
+	Tag    uint64
+	Target uint64
+	PC     uint64
+	Owner  uint16
+	Valid  bool
+}
+
+// ReplacementPolicy selects a victim way within a set.
+type ReplacementPolicy int
+
+// Replacement policies supported by Table.
+const (
+	// ReplaceRandom matches the paper's baseline BTB ("using random
+	// replacement", Figure 3 caption).
+	ReplaceRandom ReplacementPolicy = iota
+	// ReplaceLRU is provided for sensitivity studies.
+	ReplaceLRU
+)
+
+// Config describes a set-associative table.
+type Config struct {
+	// Sets is the number of sets; it must be a power of two.
+	Sets int
+	// Ways is the set associativity.
+	Ways int
+	// Replacement selects the victim policy; the default (zero value) is
+	// random replacement as in the Zen2 baseline.
+	Replacement ReplacementPolicy
+	// Latency is the lookup latency in cycles, consumed by the pipeline
+	// model (Table IV gives 4 cycles for the large BTB).
+	Latency int
+	// EntryBits is the storage size of one entry (60 bits in the Zen2
+	// baseline); used for the Section VII-D hardware-cost accounting.
+	EntryBits int
+	// Seed seeds the replacement RNG stream.
+	Seed uint64
+}
+
+// Stats accumulates table activity.
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Updates   uint64
+	Evictions uint64
+	// CrossOwnerEvictions counts evictions where the victim entry belonged
+	// to a different owner than the inserting context — the contention an
+	// attacker senses in a contention-based attack.
+	CrossOwnerEvictions uint64
+	// Flushes counts whole-table or predicate flush operations.
+	Flushes uint64
+}
+
+// Table is a set-associative predictor table.
+type Table struct {
+	cfg  Config
+	sets [][]Entry
+	// lru[set][way] holds a logical timestamp for LRU; unused under
+	// random replacement.
+	lru   [][]uint64
+	clock uint64
+	rand  *rng.Rand
+	stats Stats
+}
+
+// New builds a Table from cfg. It panics if the geometry is invalid, since
+// a bad geometry is a programming error in an experiment definition.
+func New(cfg Config) *Table {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("btb: Sets must be a positive power of two")
+	}
+	if cfg.Ways <= 0 {
+		panic("btb: Ways must be positive")
+	}
+	t := &Table{
+		cfg:  cfg,
+		sets: make([][]Entry, cfg.Sets),
+		rand: rng.New(cfg.Seed ^ 0xb7b7b7b7),
+	}
+	backing := make([]Entry, cfg.Sets*cfg.Ways)
+	for i := range t.sets {
+		t.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	if cfg.Replacement == ReplaceLRU {
+		lruBacking := make([]uint64, cfg.Sets*cfg.Ways)
+		t.lru = make([][]uint64, cfg.Sets)
+		for i := range t.lru {
+			t.lru[i] = lruBacking[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		}
+	}
+	return t
+}
+
+// Config returns the table geometry.
+func (t *Table) Config() Config { return t.cfg }
+
+// Sets returns the number of sets.
+func (t *Table) Sets() int { return t.cfg.Sets }
+
+// Ways returns the associativity.
+func (t *Table) Ways() int { return t.cfg.Ways }
+
+// Entries returns the total entry count.
+func (t *Table) Entries() int { return t.cfg.Sets * t.cfg.Ways }
+
+// StorageBits returns the table's storage cost in bits.
+func (t *Table) StorageBits() int { return t.Entries() * t.cfg.EntryBits }
+
+// Latency returns the lookup latency in cycles.
+func (t *Table) Latency() int { return t.cfg.Latency }
+
+// Stats returns a copy of the accumulated statistics.
+func (t *Table) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the statistics without touching table contents.
+func (t *Table) ResetStats() { t.stats = Stats{} }
+
+// maskIndex reduces an arbitrary index to the set range.
+func (t *Table) maskIndex(index uint64) int {
+	return int(index & uint64(t.cfg.Sets-1))
+}
+
+// Lookup searches the set at index for tag. On a hit it returns the entry.
+func (t *Table) Lookup(index, tag uint64) (Entry, bool) {
+	t.stats.Lookups++
+	set := t.sets[t.maskIndex(index)]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			t.stats.Hits++
+			if t.lru != nil {
+				t.clock++
+				t.lru[t.maskIndex(index)][w] = t.clock
+			}
+			return set[w], true
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe is Lookup without statistics side effects; used by oracles and
+// invariant checks that must not perturb measurements.
+func (t *Table) Probe(index, tag uint64) (Entry, bool) {
+	set := t.sets[t.maskIndex(index)]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			return set[w], true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert places e at index. If an entry with the same tag exists it is
+// updated in place. Otherwise a victim way is chosen (an invalid way if one
+// exists, else per the replacement policy) and the displaced entry, if any,
+// is returned with evicted=true.
+func (t *Table) Insert(index uint64, e Entry) (victim Entry, evicted bool) {
+	si := t.maskIndex(index)
+	set := t.sets[si]
+	e.Valid = true
+
+	for w := range set {
+		if set[w].Valid && set[w].Tag == e.Tag {
+			set[w] = e
+			t.stats.Updates++
+			t.touch(si, w)
+			return Entry{}, false
+		}
+	}
+	// Prefer an invalid way.
+	for w := range set {
+		if !set[w].Valid {
+			set[w] = e
+			t.stats.Inserts++
+			t.touch(si, w)
+			return Entry{}, false
+		}
+	}
+	w := t.victimWay(si)
+	victim = set[w]
+	set[w] = e
+	t.stats.Inserts++
+	t.stats.Evictions++
+	if victim.Owner != e.Owner {
+		t.stats.CrossOwnerEvictions++
+	}
+	t.touch(si, w)
+	return victim, true
+}
+
+// Invalidate removes the entry matching tag at index, reporting whether an
+// entry was removed.
+func (t *Table) Invalidate(index, tag uint64) bool {
+	set := t.sets[t.maskIndex(index)]
+	for w := range set {
+		if set[w].Valid && set[w].Tag == tag {
+			set[w] = Entry{}
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) touch(set, way int) {
+	if t.lru != nil {
+		t.clock++
+		t.lru[set][way] = t.clock
+	}
+}
+
+func (t *Table) victimWay(set int) int {
+	switch t.cfg.Replacement {
+	case ReplaceLRU:
+		best, bestTS := 0, t.lru[set][0]
+		for w := 1; w < t.cfg.Ways; w++ {
+			if t.lru[set][w] < bestTS {
+				best, bestTS = w, t.lru[set][w]
+			}
+		}
+		return best
+	default:
+		return t.rand.Intn(t.cfg.Ways)
+	}
+}
+
+// Flush invalidates every entry.
+func (t *Table) Flush() {
+	for _, set := range t.sets {
+		for w := range set {
+			set[w] = Entry{}
+		}
+	}
+	t.stats.Flushes++
+}
+
+// FlushOwner invalidates every entry belonging to owner; used by mechanisms
+// that flush only the swapped-out context's partition.
+func (t *Table) FlushOwner(owner uint16) int {
+	n := 0
+	for _, set := range t.sets {
+		for w := range set {
+			if set[w].Valid && set[w].Owner == owner {
+				set[w] = Entry{}
+				n++
+			}
+		}
+	}
+	t.stats.Flushes++
+	return n
+}
+
+// ValidCount returns the number of valid entries; used by tests and the
+// occupancy statistics.
+func (t *Table) ValidCount() int {
+	n := 0
+	for _, set := range t.sets {
+		for w := range set {
+			if set[w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetOccupancy returns the number of valid entries in the set at index.
+func (t *Table) SetOccupancy(index uint64) int {
+	n := 0
+	for _, e := range t.sets[t.maskIndex(index)] {
+		if e.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every valid entry. Iteration order is deterministic
+// (set-major, way-minor).
+func (t *Table) ForEach(fn func(set, way int, e Entry)) {
+	for s, set := range t.sets {
+		for w := range set {
+			if set[w].Valid {
+				fn(s, w, set[w])
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package cipher
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"hybp/internal/rng"
+)
+
+var testKey = [2]uint64{0x0123456789ABCDEF, 0xFEDCBA9876543210}
+
+func allCiphers() []Cipher {
+	return []Cipher{
+		NewQarma(testKey),
+		NewPrince(testKey),
+		NewLLBC(testKey),
+		NewXOR(testKey[0]),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, c := range allCiphers() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			f := func(p, tw uint64) bool {
+				return c.Decrypt(c.Encrypt(p, tw), tw) == p
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestRoundTripManyKeys(t *testing.T) {
+	r := rng.New(99)
+	for i := 0; i < 50; i++ {
+		key := [2]uint64{r.Uint64(), r.Uint64()}
+		for _, c := range []Cipher{NewQarma(key), NewPrince(key), NewLLBC(key)} {
+			p, tw := r.Uint64(), r.Uint64()
+			if got := c.Decrypt(c.Encrypt(p, tw), tw); got != p {
+				t.Fatalf("%s key=%x: round trip failed: %#x != %#x", c.Name(), key, got, p)
+			}
+		}
+	}
+}
+
+func TestEncryptIsPermutationSample(t *testing.T) {
+	// Distinct plaintexts must map to distinct ciphertexts under one
+	// (key, tweak); sample-check with many pairs.
+	r := rng.New(5)
+	for _, c := range allCiphers() {
+		seen := make(map[uint64]uint64)
+		for i := 0; i < 20000; i++ {
+			p := r.Uint64()
+			ct := c.Encrypt(p, 7)
+			if prev, ok := seen[ct]; ok && prev != p {
+				t.Fatalf("%s: collision: E(%#x) == E(%#x)", c.Name(), prev, p)
+			}
+			seen[ct] = p
+		}
+	}
+}
+
+// avalanche measures the mean fraction of output bits flipped by a single
+// input bit flip.
+func avalanche(c Cipher, r *rng.Rand, trials int) float64 {
+	flipped := 0
+	total := 0
+	for i := 0; i < trials; i++ {
+		p := r.Uint64()
+		tw := r.Uint64()
+		bit := uint(r.Intn(64))
+		d := c.Encrypt(p, tw) ^ c.Encrypt(p^(1<<bit), tw)
+		flipped += bits.OnesCount64(d)
+		total += 64
+	}
+	return float64(flipped) / float64(total)
+}
+
+func TestStrongCipherAvalanche(t *testing.T) {
+	r := rng.New(21)
+	for _, c := range []Cipher{NewQarma(testKey), NewPrince(testKey)} {
+		got := avalanche(c, r, 4000)
+		if math.Abs(got-0.5) > 0.02 {
+			t.Errorf("%s avalanche = %.4f, want ≈0.5", c.Name(), got)
+		}
+	}
+}
+
+func TestXORHasNoAvalanche(t *testing.T) {
+	// Sanity check of the metric: XOR flips exactly the input bit.
+	r := rng.New(22)
+	got := avalanche(NewXOR(1234), r, 1000)
+	if math.Abs(got-1.0/64) > 1e-9 {
+		t.Errorf("xor avalanche = %.4f, want exactly 1/64", got)
+	}
+}
+
+// affineDefect counts how often E(a)⊕E(b)⊕E(c) == E(a⊕b⊕c) holds. For an
+// affine cipher it holds always; for a strong cipher essentially never.
+func affineDefect(c Cipher, r *rng.Rand, trials int) int {
+	hold := 0
+	for i := 0; i < trials; i++ {
+		a, b, d := r.Uint64(), r.Uint64(), r.Uint64()
+		tw := uint64(3)
+		if c.Encrypt(a, tw)^c.Encrypt(b, tw)^c.Encrypt(d, tw) == c.Encrypt(a^b^d, tw) {
+			hold++
+		}
+	}
+	return hold
+}
+
+func TestLLBCIsAffine(t *testing.T) {
+	// Reproduces the Purnal/Bodduna result: CEASER-style LLBC is affine in
+	// its plaintext, so randomization with it can be stripped by linear
+	// algebra (paper Sections I, III-A).
+	r := rng.New(31)
+	const trials = 2000
+	if hold := affineDefect(NewLLBC(testKey), r, trials); hold != trials {
+		t.Errorf("LLBC affine identity held %d/%d times, want all", hold, trials)
+	}
+}
+
+func TestStrongCiphersAreNotAffine(t *testing.T) {
+	r := rng.New(32)
+	const trials = 2000
+	for _, c := range []Cipher{NewQarma(testKey), NewPrince(testKey)} {
+		if hold := affineDefect(c, r, trials); hold != 0 {
+			t.Errorf("%s affine identity held %d/%d times, want 0", c.Name(), hold, trials)
+		}
+	}
+}
+
+func TestTweakSeparation(t *testing.T) {
+	// Different tweaks must induce (essentially) independent permutations.
+	r := rng.New(41)
+	for _, c := range []Cipher{NewQarma(testKey), NewPrince(testKey)} {
+		same := 0
+		for i := 0; i < 2000; i++ {
+			p := r.Uint64()
+			if c.Encrypt(p, 1) == c.Encrypt(p, 2) {
+				same++
+			}
+		}
+		if same != 0 {
+			t.Errorf("%s: %d of 2000 plaintexts collide across tweaks", c.Name(), same)
+		}
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	r := rng.New(42)
+	a := NewQarma([2]uint64{1, 2})
+	b := NewQarma([2]uint64{1, 3})
+	same := 0
+	for i := 0; i < 2000; i++ {
+		p := r.Uint64()
+		if a.Encrypt(p, 0) == b.Encrypt(p, 0) {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("qarma: %d/2000 plaintexts collide across keys", same)
+	}
+}
+
+func TestIndexUniformity(t *testing.T) {
+	// When a strong cipher output is truncated to an S-bit set index (how
+	// the keys table is consumed), the index distribution over sequential
+	// inputs must be uniform — requirement 1 of Section III-A.
+	const setBits = 10
+	const sets = 1 << setBits
+	const draws = sets * 200
+	for _, c := range []Cipher{NewQarma(testKey), NewPrince(testKey)} {
+		var counts [sets]int
+		for i := 0; i < draws; i++ {
+			counts[c.Encrypt(uint64(i), 0)&(sets-1)]++
+		}
+		want := float64(draws) / sets
+		var chi2 float64
+		for _, n := range counts {
+			d := float64(n) - want
+			chi2 += d * d / want
+		}
+		// χ² with 1023 dof: mean 1023, σ ≈ 45. Allow 5σ.
+		if chi2 > 1023+5*45.2 {
+			t.Errorf("%s: index χ² = %.1f, too far above %d", c.Name(), chi2, sets-1)
+		}
+	}
+}
+
+func TestQarmaRoundsValidation(t *testing.T) {
+	for _, r := range []int{0, 9, -1} {
+		r := r
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQarmaRounds(%d) did not panic", r)
+				}
+			}()
+			NewQarmaRounds(testKey, r)
+		}()
+	}
+	// All valid round counts must still invert correctly.
+	for rc := 1; rc <= 8; rc++ {
+		c := NewQarmaRounds(testKey, rc)
+		if got := c.Decrypt(c.Encrypt(0xDEADBEEF, 5), 5); got != 0xDEADBEEF {
+			t.Errorf("qarma rounds=%d: round trip failed", rc)
+		}
+	}
+}
+
+func TestPrinceMPrimeInvolution(t *testing.T) {
+	f := func(x uint64) bool { return princeMPrime(princeMPrime(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQarmaMixInvolution(t *testing.T) {
+	f := func(x uint64) bool { return qarmaMix(qarmaMix(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextTweakInvertibleSample(t *testing.T) {
+	// nextTweak must be injective or distinct contexts could share key
+	// streams; sample-check for collisions.
+	r := rng.New(51)
+	seen := make(map[uint64]uint64)
+	for i := 0; i < 50000; i++ {
+		tw := r.Uint64()
+		nt := nextTweak(tw)
+		if prev, ok := seen[nt]; ok && prev != tw {
+			t.Fatalf("nextTweak collision: %#x and %#x -> %#x", prev, tw, nt)
+		}
+		seen[nt] = tw
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	want := map[string]int{"qarma64": 8, "prince": 8, "llbc": 2, "xor": 0}
+	for _, c := range allCiphers() {
+		if got := c.Latency(); got != want[c.Name()] {
+			t.Errorf("%s latency = %d, want %d", c.Name(), got, want[c.Name()])
+		}
+	}
+}
+
+func TestSboxTablesArePermutations(t *testing.T) {
+	// invertPerm16 panics on bad tables; reaching here means package init
+	// succeeded, but also explicitly verify inverse composition.
+	for i := 0; i < 16; i++ {
+		if qarmaSboxInv[qarmaSbox[i]] != byte(i) {
+			t.Fatalf("qarma sbox inverse broken at %d", i)
+		}
+		if princeSboxInv[princeSbox[i]] != byte(i) {
+			t.Fatalf("prince sbox inverse broken at %d", i)
+		}
+		if qarmaShuffleInv[qarmaShuffle[i]] != byte(i) {
+			t.Fatalf("qarma shuffle inverse broken at %d", i)
+		}
+		if princeSRInv[princeSR[i]] != byte(i) {
+			t.Fatalf("prince shiftrows inverse broken at %d", i)
+		}
+	}
+}
+
+func TestCellHelpers(t *testing.T) {
+	var s uint64
+	for i := 0; i < 16; i++ {
+		s = setCell(s, i, byte(i))
+	}
+	for i := 0; i < 16; i++ {
+		if cell(s, i) != byte(i) {
+			t.Fatalf("cell %d = %d", i, cell(s, i))
+		}
+	}
+	if rotCell(0b0001, 1) != 0b0010 || rotCell(0b1000, 1) != 0b0001 {
+		t.Fatal("rotCell broken")
+	}
+}
+
+func BenchmarkQarmaEncrypt(b *testing.B) {
+	c := NewQarma(testKey)
+	for i := 0; i < b.N; i++ {
+		_ = c.Encrypt(uint64(i), 1)
+	}
+}
+
+func BenchmarkPrinceEncrypt(b *testing.B) {
+	c := NewPrince(testKey)
+	for i := 0; i < b.N; i++ {
+		_ = c.Encrypt(uint64(i), 1)
+	}
+}
+
+func BenchmarkLLBCEncrypt(b *testing.B) {
+	c := NewLLBC(testKey)
+	for i := 0; i < b.N; i++ {
+		_ = c.Encrypt(uint64(i), 1)
+	}
+}

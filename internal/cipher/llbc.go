@@ -1,0 +1,68 @@
+package cipher
+
+// LLBC reimplements the shape of CEASER's Low-Latency Block Cipher
+// (Qureshi, MICRO 2018): a short Feistel network whose round function mixes
+// the half-block and round key with XORs and rotations only.
+//
+// Because every round function is linear over GF(2), the whole cipher is
+// *affine* in its plaintext for a fixed key: E(a) ⊕ E(b) ⊕ E(c) = E(a⊕b⊕c)
+// for all a, b, c. This is exactly the weakness Purnal et al. (S&P 2021) and
+// Bodduna et al. (CAL 2020) exploited to break CEASER-style randomization —
+// an attacker can solve for the mapping with linear algebra, making eviction
+// set construction as cheap as with no randomization at all. The test suite
+// demonstrates the affine identity on LLBC and its absence on Qarma/Prince,
+// reproducing the cryptanalytic contrast that motivates HyBP (paper
+// Sections I and III-A).
+type LLBC struct {
+	rk     [4]uint64 // round keys (expanded, one per Feistel stage)
+	rounds int
+}
+
+// NewLLBC derives an LLBC instance from a 128-bit key. The four stage keys
+// come from a linear expansion of the key words, matching the lightweight
+// key schedule spirit of the original.
+func NewLLBC(key [2]uint64) *LLBC {
+	l := &LLBC{rounds: 4}
+	l.rk[0] = key[0]
+	l.rk[1] = key[1]
+	l.rk[2] = key[0] ^ ror64(key[1], 17)
+	l.rk[3] = key[1] ^ ror64(key[0], 31)
+	return l
+}
+
+// feistelF is the linear round function: an XOR of rotations of the half
+// block plus the round key. Linearity here is deliberate — it is the flaw
+// under study.
+func feistelF(half uint32, rk uint64) uint32 {
+	x := half ^ uint32(rk) ^ uint32(rk>>32)
+	return x ^ rot32(x, 3) ^ rot32(x, 13) ^ rot32(x, 22)
+}
+
+func rot32(x uint32, r uint) uint32 { return (x << r) | (x >> (32 - r)) }
+
+// Encrypt implements Cipher. The tweak is folded into the round keys, as in
+// the CEASER usage where the epoch id perturbs the key.
+func (l *LLBC) Encrypt(block, tweak uint64) uint64 {
+	left := uint32(block >> 32)
+	right := uint32(block)
+	for i := 0; i < l.rounds; i++ {
+		left, right = right, left^feistelF(right, l.rk[i]^tweak)
+	}
+	return uint64(left)<<32 | uint64(right)
+}
+
+// Decrypt implements Cipher.
+func (l *LLBC) Decrypt(block, tweak uint64) uint64 {
+	left := uint32(block >> 32)
+	right := uint32(block)
+	for i := l.rounds - 1; i >= 0; i-- {
+		left, right = right^feistelF(left, l.rk[i]^tweak), left
+	}
+	return uint64(left)<<32 | uint64(right)
+}
+
+// Latency implements Cipher; CEASER reports 2 cycles (paper Section III-A).
+func (l *LLBC) Latency() int { return 2 }
+
+// Name implements Cipher.
+func (l *LLBC) Name() string { return "llbc" }

@@ -1,0 +1,145 @@
+package cipher
+
+// Prince is a PRINCE-structured low-latency block cipher (Borghoff et al.,
+// ASIACRYPT 2012), the other strong cipher HyBP cites as an 8-cycle option.
+//
+// PRINCE is an FX construction: the 64-bit block is whitened with k0 on the
+// way in and with k0' = (k0 ⋙ 1) ⊕ (k0 ≫ 63) on the way out, around a core
+// keyed with k1. The core runs five forward rounds (S-box, the involutory
+// diffusion matrix M', a nibble ShiftRows, round constant and k1 addition),
+// a middle S · M' · S⁻¹ layer, and five backward rounds. Decryption is
+// implemented as the literal inverse of the encryption sequence, so
+// inversion holds regardless of the α-reflection property of the round
+// constants.
+//
+// Prince has no tweak input in the original design; the tweak parameter of
+// the Cipher interface is folded into the k1 round key, giving a tweakable
+// variant (this is the standard "tweak XOR round key" extension and is how
+// the key manager derives per-context code books from one master key).
+type Prince struct {
+	k0, k0p, k1 uint64
+}
+
+// princeAlpha is the constant relating RC_i and RC_{11-i}.
+const princeAlpha = 0xC0AC29B7C97C50DD
+
+var princeRC = [12]uint64{
+	0x0000000000000000,
+	0x13198A2E03707344,
+	0xA4093822299F31D0,
+	0x082EFA98EC4E6C89,
+	0x452821E638D01377,
+	0xBE5466CF34E90C6C,
+	0x7EF84F78FD955CB1,
+	0x85840851F1AC43AA,
+	0xC882D32F25323C54,
+	0x64A51195E0E3610D,
+	0xD3B5A399CA0C2399,
+	0xC0AC29B7C97C50DD,
+}
+
+var princeSbox = [16]byte{0xB, 0xF, 0x3, 0x2, 0xA, 0xC, 0x9, 0x1, 0x6, 0x7, 0x8, 0x0, 0xE, 0x5, 0xD, 0x4}
+
+var princeSboxInv = invertPerm16(princeSbox)
+
+// PRINCE ShiftRows nibble permutation (output cell i takes input cell
+// princeSR[i]); same 4×4 row-rotation shape as AES ShiftRows.
+var princeSR = [16]byte{0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11}
+
+var princeSRInv = invertPerm16(princeSR)
+
+// NewPrince builds a Prince instance from a 128-bit key: key[0] is k0
+// (whitening), key[1] is k1 (core).
+func NewPrince(key [2]uint64) *Prince {
+	k0 := key[0]
+	return &Prince{
+		k0:  k0,
+		k0p: ror64(k0, 1) ^ (k0 >> 63),
+		k1:  key[1],
+	}
+}
+
+// Encrypt implements Cipher.
+func (p *Prince) Encrypt(block, tweak uint64) uint64 {
+	k1 := p.k1 ^ tweak
+	s := block ^ p.k0
+	s ^= k1 ^ princeRC[0]
+	for i := 1; i <= 5; i++ {
+		s = subCells(s, &princeSbox)
+		s = princeMPrime(s)
+		s = permuteCells(s, &princeSR)
+		s ^= princeRC[i] ^ k1
+	}
+	// Middle involution: S · M' · S⁻¹.
+	s = subCells(s, &princeSbox)
+	s = princeMPrime(s)
+	s = subCells(s, &princeSboxInv)
+	for i := 6; i <= 10; i++ {
+		s ^= princeRC[i] ^ k1
+		s = permuteCells(s, &princeSRInv)
+		s = princeMPrime(s) // M' is an involution
+		s = subCells(s, &princeSboxInv)
+	}
+	s ^= k1 ^ princeRC[11]
+	return s ^ p.k0p
+}
+
+// Decrypt implements Cipher. It applies the exact inverse of the Encrypt
+// sequence.
+func (p *Prince) Decrypt(block, tweak uint64) uint64 {
+	k1 := p.k1 ^ tweak
+	s := block ^ p.k0p
+	s ^= k1 ^ princeRC[11]
+	for i := 10; i >= 6; i-- {
+		s = subCells(s, &princeSbox)
+		s = princeMPrime(s)
+		s = permuteCells(s, &princeSR)
+		s ^= princeRC[i] ^ k1
+	}
+	s = subCells(s, &princeSbox)
+	s = princeMPrime(s)
+	s = subCells(s, &princeSboxInv)
+	for i := 5; i >= 1; i-- {
+		s ^= princeRC[i] ^ k1
+		s = permuteCells(s, &princeSRInv)
+		s = princeMPrime(s)
+		s = subCells(s, &princeSboxInv)
+	}
+	s ^= k1 ^ princeRC[0]
+	return s ^ p.k0
+}
+
+// Latency implements Cipher; the paper quotes 8 cycles for PRINCE on a
+// 4 GHz processor.
+func (p *Prince) Latency() int { return 8 }
+
+// Name implements Cipher.
+func (p *Prince) Name() string { return "prince" }
+
+// princeMPrime applies PRINCE's involutory diffusion matrix M'. The state
+// splits into four 16-bit chunks; chunks 0 and 3 use the M̂(0) block layout
+// and chunks 1 and 2 use M̂(1). Within a chunk, output nibble r is the XOR
+// over input nibbles j of the input with bit ((r+j+off) mod 4) cleared —
+// the m_k = I-minus-e_k building blocks of the PRINCE specification.
+func princeMPrime(s uint64) uint64 {
+	var out uint64
+	for chunk := 0; chunk < 4; chunk++ {
+		off := 0
+		if chunk == 1 || chunk == 2 {
+			off = 1
+		}
+		var in [4]byte
+		for j := 0; j < 4; j++ {
+			in[j] = cell(s, chunk*4+j)
+		}
+		for r := 0; r < 4; r++ {
+			var v byte
+			for j := 0; j < 4; j++ {
+				drop := byte(1) << uint((r+j+off)&3)
+				v ^= in[j] &^ drop
+			}
+			out = setCell(out, chunk*4+r, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package cipher
+
+// Qarma is a QARMA-64-structured tweakable block cipher (Avanzi, ToSC 2017).
+//
+// The 64-bit state is treated as sixteen 4-bit cells. Encryption applies a
+// whitening key, r forward rounds (tweakey addition, cell shuffle, MixColumns
+// over a circulant of cell rotations, S-box), a key-conjugated central
+// reflector, and r backward rounds, exactly mirroring QARMA's
+// Even-Mansour-with-reflector shape. The tweak is evolved between rounds by
+// the cell permutation h and a 4-bit LFSR ω on a fixed subset of cells.
+//
+// HyBP uses this cipher off the critical path to fill the randomized index
+// keys table ("code book", paper Section V-C and Figure 4), so its 8-cycle
+// latency never appears in the prediction path.
+type Qarma struct {
+	w0, w1 uint64 // whitening keys
+	k0, k1 uint64 // core keys
+	rounds int
+}
+
+// QarmaRounds is the default number of forward (and backward) rounds,
+// matching the QARMA-7-64 instance the QARMA paper recommends and whose
+// 7 nm latency HyBP quotes.
+const QarmaRounds = 7
+
+// qarmaAlpha separates the forward and backward round tweakeys, like
+// QARMA's α constant.
+const qarmaAlpha = 0xC0AC29B7C97C50DD
+
+// σ1 S-box of QARMA (a 4-bit permutation with maximal nonlinearity among
+// the paper's candidates).
+var qarmaSbox = [16]byte{10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4}
+
+var qarmaSboxInv = invertPerm16(qarmaSbox)
+
+// τ cell shuffle of QARMA.
+var qarmaShuffle = [16]byte{0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2}
+
+var qarmaShuffleInv = invertPerm16(qarmaShuffle)
+
+// h tweak-cell permutation of QARMA.
+var qarmaTweakPerm = [16]byte{6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11}
+
+// Cells the tweak LFSR ω is applied to.
+var qarmaLFSRCells = [...]int{0, 1, 3, 4, 8, 11, 13}
+
+// Round constants (digits of π, as in QARMA/PRINCE).
+var qarmaRC = [8]uint64{
+	0x0000000000000000,
+	0x13198A2E03707344,
+	0xA4093822299F31D0,
+	0x082EFA98EC4E6C89,
+	0x452821E638D01377,
+	0xBE5466CF34E90C6C,
+	0x3F84D5B5B5470917,
+	0x9216D5D98979FB1B,
+}
+
+// NewQarma builds a Qarma instance from a 128-bit key (two 64-bit words)
+// with the default round count.
+func NewQarma(key [2]uint64) *Qarma { return NewQarmaRounds(key, QarmaRounds) }
+
+// NewQarmaRounds builds a Qarma instance with an explicit round count in
+// [1, 8]. Fewer rounds trade security margin for latency; the experiments
+// only use the default, but the ablation benches sweep it.
+func NewQarmaRounds(key [2]uint64, rounds int) *Qarma {
+	if rounds < 1 || rounds > len(qarmaRC) {
+		panic("cipher: qarma round count out of range")
+	}
+	w0 := key[0]
+	return &Qarma{
+		w0:     w0,
+		w1:     ror64(w0, 1) ^ (w0 >> 63), // QARMA's orthomorphism o(w0)
+		k0:     key[1],
+		k1:     key[1],
+		rounds: rounds,
+	}
+}
+
+// Encrypt implements Cipher.
+func (q *Qarma) Encrypt(block, tweak uint64) uint64 {
+	return q.core(block, tweak, 0, qarmaAlpha, q.w0, q.w1)
+}
+
+// Decrypt implements Cipher.
+func (q *Qarma) Decrypt(block, tweak uint64) uint64 {
+	return q.core(block, tweak, qarmaAlpha, 0, q.w1, q.w0)
+}
+
+// Latency implements Cipher. The paper quotes 8 cycles for QARMA on a
+// 4 GHz pipeline (Sections I and V-A).
+func (q *Qarma) Latency() int { return 8 }
+
+// Name implements Cipher.
+func (q *Qarma) Name() string { return "qarma64" }
+
+// core runs whitening, forward rounds keyed with alphaF, the central
+// reflector, and backward rounds keyed with alphaB. Encryption and
+// decryption are the same circuit with the (wIn, wOut) whitening keys and
+// the (alphaF, alphaB) constants swapped: the backward loop is the exact
+// inverse of the forward loop under the same tweak schedule, and the
+// central reflector is an involution.
+func (q *Qarma) core(x, tweak uint64, alphaF, alphaB, wIn, wOut uint64) uint64 {
+	tks := q.tweakSchedule(tweak)
+	s := x ^ wIn
+
+	for i := 0; i < q.rounds; i++ {
+		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaF
+		if i > 0 {
+			s = permuteCells(s, &qarmaShuffle)
+			s = qarmaMix(s)
+		}
+		s = subCells(s, &qarmaSbox)
+	}
+
+	// Central reflector: conjugating the k1 addition by the linear layer
+	// makes this block an involution, so the same circuit serves both
+	// directions.
+	s ^= q.w1
+	s = permuteCells(s, &qarmaShuffle)
+	s = qarmaMix(s)
+	s ^= q.k1
+	s = qarmaMix(s) // qarmaMix is an involution (circ(0, ρ¹, ρ², ρ¹))
+	s = permuteCells(s, &qarmaShuffleInv)
+	s ^= q.w1
+
+	for i := q.rounds - 1; i >= 0; i-- {
+		s = subCells(s, &qarmaSboxInv)
+		if i > 0 {
+			s = qarmaMix(s)
+			s = permuteCells(s, &qarmaShuffleInv)
+		}
+		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaB
+	}
+	return s ^ wOut
+}
+
+// tweakSchedule expands the tweak for each forward round; the backward
+// rounds reuse the same schedule in reverse.
+func (q *Qarma) tweakSchedule(tweak uint64) []uint64 {
+	tks := make([]uint64, q.rounds)
+	tk := tweak
+	for i := range tks {
+		tks[i] = tk
+		tk = nextTweak(tk)
+	}
+	return tks
+}
+
+// nextTweak applies the cell permutation h and the ω LFSR to the cells
+// QARMA designates.
+func nextTweak(t uint64) uint64 {
+	t = permuteCells(t, &qarmaTweakPerm)
+	for _, c := range qarmaLFSRCells {
+		t = setCell(t, c, lfsrOmega(cell(t, c)))
+	}
+	return t
+}
+
+// lfsrOmega is QARMA's ω: (b3,b2,b1,b0) → (b0⊕b1, b3, b2, b1).
+func lfsrOmega(b byte) byte {
+	return ((b&1 ^ (b>>1)&1) << 3) | (b >> 1)
+}
+
+// qarmaMix applies MixColumns with the involutory circulant
+// M = circ(0, ρ¹, ρ², ρ¹) of cell rotations, columns being cells
+// {c, c+4, c+8, c+12}.
+func qarmaMix(s uint64) uint64 {
+	var out uint64
+	for col := 0; col < 4; col++ {
+		var in [4]byte
+		for row := 0; row < 4; row++ {
+			in[row] = cell(s, col+4*row)
+		}
+		for row := 0; row < 4; row++ {
+			v := rotCell(in[(row+1)&3], 1) ^ rotCell(in[(row+2)&3], 2) ^ rotCell(in[(row+3)&3], 1)
+			out = setCell(out, col+4*row, v)
+		}
+	}
+	return out
+}
+
+// --- 4-bit cell helpers shared with prince.go ---
+
+// cell extracts 4-bit cell i (cell 0 is the least significant nibble).
+func cell(s uint64, i int) byte { return byte(s>>(4*uint(i))) & 0xF }
+
+// setCell returns s with cell i replaced by v.
+func setCell(s uint64, i int, v byte) uint64 {
+	sh := 4 * uint(i)
+	return (s &^ (0xF << sh)) | uint64(v&0xF)<<sh
+}
+
+// rotCell rotates a 4-bit value left by r.
+func rotCell(c byte, r uint) byte {
+	return ((c << r) | (c >> (4 - r))) & 0xF
+}
+
+// subCells applies a 4-bit S-box to every cell.
+func subCells(s uint64, box *[16]byte) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		out |= uint64(box[cell(s, i)]) << (4 * uint(i))
+	}
+	return out
+}
+
+// permuteCells rearranges cells so that output cell i takes input cell p[i].
+func permuteCells(s uint64, p *[16]byte) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		out = setCell(out, i, cell(s, int(p[i])))
+	}
+	return out
+}
+
+// invertPerm16 inverts a 16-element permutation; it panics on non-permutations
+// to catch constant typos at init time.
+func invertPerm16(p [16]byte) [16]byte {
+	var inv [16]byte
+	var seen [16]bool
+	for i, v := range p {
+		if v >= 16 || seen[v] {
+			panic("cipher: table is not a permutation")
+		}
+		seen[v] = true
+		inv[v] = byte(i)
+	}
+	return inv
+}
+
+func ror64(x uint64, r uint) uint64 { return (x >> r) | (x << (64 - r)) }

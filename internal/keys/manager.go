@@ -1,0 +1,93 @@
+package keys
+
+// ContextID identifies a (hardware thread, privilege) combination — the
+// granularity at which HyBP physically isolates key material (paper Section
+// V-D: "each (thread, privilege) combination has its own set of keys").
+type ContextID struct {
+	Thread uint8
+	Priv   Privilege
+}
+
+// Privilege is the execution privilege level.
+type Privilege uint8
+
+// Privilege levels considered by the paper (user and kernel).
+const (
+	User Privilege = iota
+	Kernel
+)
+
+// String implements fmt.Stringer.
+func (p Privilege) String() string {
+	if p == Kernel {
+		return "kernel"
+	}
+	return "user"
+}
+
+// Manager owns one keys Table per (thread, privilege) context of an SMT
+// core: four tables for SMT-2 (paper Section VII-D). BTB and PHT share the
+// tables (Section VI-C: "BTB and PHT can share the random tables without
+// security degradation").
+type Manager struct {
+	cfg    Config
+	tables map[ContextID]*Table
+}
+
+// NewManager builds a Manager that lazily creates per-context tables from
+// cfg (each with a seed perturbed by the context identity).
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg, tables: make(map[ContextID]*Table)}
+}
+
+// Table returns the keys table for id, creating it on first use.
+func (m *Manager) Table(id ContextID) *Table {
+	if t, ok := m.tables[id]; ok {
+		return t
+	}
+	cfg := m.cfg
+	cfg.Seed ^= (uint64(id.Thread)+1)<<20 ^ (uint64(id.Priv)+1)<<8 ^ 0x9E37
+	t := NewTable(cfg)
+	m.tables[id] = t
+	return t
+}
+
+// OnContextSwitch renews both privilege tables of the hardware thread that
+// is switching software contexts, binding them to the incoming ASID/VMID.
+// Per the paper, key changes ride on context switches because the interval
+// (≥4 ms, 2^24+ cycles) is comfortably below the 2^27-access attack bound.
+func (m *Manager) OnContextSwitch(thread uint8, asid, vmid uint16, now uint64) {
+	for _, priv := range []Privilege{User, Kernel} {
+		t := m.Table(ContextID{Thread: thread, Priv: priv})
+		t.Bind(asid, vmid)
+		t.Refresh(now)
+	}
+}
+
+// NoteAccess counts an access against id's table, refreshing it when the
+// access threshold fires; it reports whether a refresh happened.
+func (m *Manager) NoteAccess(id ContextID, now uint64) bool {
+	t := m.Table(id)
+	if t.NoteAccess() {
+		t.Refresh(now)
+		return true
+	}
+	return false
+}
+
+// StorageBits sums the code-book SRAM across the given number of hardware
+// threads (threads × 2 privilege levels × table size) — 5 KB for the
+// paper's SMT-2 instance.
+func (m *Manager) StorageBits(threads int) int {
+	one := NewTable(m.cfg).StorageBits()
+	return threads * 2 * one
+}
+
+// TotalRefreshes sums refresh counts across all live tables.
+func (m *Manager) TotalRefreshes() uint64 {
+	var n uint64
+	for _, t := range m.tables {
+		n += t.Refreshes()
+	}
+	return n
+}

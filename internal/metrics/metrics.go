@@ -1,0 +1,75 @@
+// Package metrics implements the evaluation metrics of paper Section
+// VII-A: IPC throughput (the sum of per-thread IPCs) and the Hmean fairness
+// metric of Luo et al., the harmonic mean of per-thread IPC speedups
+// relative to solo execution — a metric that penalizes throughput won by
+// starving one thread.
+package metrics
+
+import "math"
+
+// Hmean computes the harmonic mean of per-thread speedups, where
+// speedup[i] = smtIPC[i] / soloIPC[i]. It returns 0 for empty or
+// non-positive inputs.
+func Hmean(soloIPC, smtIPC []float64) float64 {
+	if len(soloIPC) == 0 || len(soloIPC) != len(smtIPC) {
+		return 0
+	}
+	sum := 0.0
+	for i := range soloIPC {
+		if smtIPC[i] <= 0 || soloIPC[i] <= 0 {
+			return 0
+		}
+		sum += soloIPC[i] / smtIPC[i]
+	}
+	return float64(len(soloIPC)) / sum
+}
+
+// DegradationPercent is the relative slowdown of value vs baseline in
+// percent: positive means value is worse (smaller).
+func DegradationPercent(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - value) / baseline
+}
+
+// GeoMean returns the geometric mean of xs (0 if any is non-positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

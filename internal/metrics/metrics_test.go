@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHmean(t *testing.T) {
+	// Equal speedups: hmean equals the speedup.
+	if got := Hmean([]float64{2, 2}, []float64{1, 1}); !almost(got, 0.5) {
+		t.Fatalf("Hmean = %v, want 0.5", got)
+	}
+	// Asymmetric speedups: hmean punishes starving one thread.
+	fair := Hmean([]float64{2, 2}, []float64{1.2, 1.2})   // 0.6 each
+	unfair := Hmean([]float64{2, 2}, []float64{2.0, 0.4}) // 1.0 and 0.2
+	if unfair >= fair {
+		t.Fatalf("unfair hmean %v should be below fair %v", unfair, fair)
+	}
+	// Degenerate inputs.
+	if Hmean(nil, nil) != 0 {
+		t.Fatal("empty hmean should be 0")
+	}
+	if Hmean([]float64{1}, []float64{1, 2}) != 0 {
+		t.Fatal("mismatched lengths should be 0")
+	}
+	if Hmean([]float64{1, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("non-positive solo should be 0")
+	}
+}
+
+func TestHmeanBounds(t *testing.T) {
+	// Property: hmean of speedups lies between min and max speedup.
+	f := func(a, b uint8) bool {
+		s1 := 0.1 + float64(a)/64
+		s2 := 0.1 + float64(b)/64
+		h := Hmean([]float64{1, 1}, []float64{s1, s2})
+		lo, hi := math.Min(s1, s2), math.Max(s1, s2)
+		return h >= lo-1e-9 && h <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegradationPercent(t *testing.T) {
+	if got := DegradationPercent(2.0, 1.9); !almost(got, 5) {
+		t.Fatalf("degradation = %v, want 5", got)
+	}
+	if got := DegradationPercent(2.0, 2.1); !almost(got, -5) {
+		t.Fatalf("improvement = %v, want -5", got)
+	}
+	if DegradationPercent(0, 1) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Fatalf("geomean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("degenerate geomean should be 0")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Max([]float64{1, 5, 3}); !almost(got, 5) {
+		t.Fatalf("max = %v", got)
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty inputs should yield 0")
+	}
+}

@@ -1,0 +1,84 @@
+// Package ras implements the return address stack, the third predictor
+// structure of a modern front end alongside the BTB and the direction
+// predictor. The paper's survey notes that Samsung Exynos ships content
+// encryption for both BTB and RAS (Section I); in HyBP's taxonomy the RAS
+// is a *small* structure, so the hybrid design protects it the way it
+// protects L0/L1 and the bimodal base: physical isolation per (thread,
+// privilege) context, flushed with the rest of the private state at
+// context switches.
+package ras
+
+// Stack is a fixed-depth circular return address stack with the standard
+// overwrite-on-overflow semantics: calls push, returns pop, and deep
+// recursion silently wraps (mispredicting the outermost returns, exactly
+// as hardware does).
+type Stack struct {
+	entries []uint64
+	top     int // index of the most recent entry
+	depth   int // live entries, ≤ len(entries)
+	pushes  uint64
+	pops    uint64
+	wraps   uint64
+}
+
+// New builds a stack with the given capacity (a typical core has 16-64
+// entries). It panics on a non-positive capacity.
+func New(capacity int) *Stack {
+	if capacity <= 0 {
+		panic("ras: capacity must be positive")
+	}
+	return &Stack{entries: make([]uint64, capacity)}
+}
+
+// Push records a return address (a call retired).
+func (s *Stack) Push(addr uint64) {
+	s.top = (s.top + 1) % len(s.entries)
+	s.entries[s.top] = addr
+	if s.depth < len(s.entries) {
+		s.depth++
+	} else {
+		s.wraps++
+	}
+	s.pushes++
+}
+
+// Pop predicts a return target and consumes the entry. The second result
+// is false when the stack is empty (no prediction).
+func (s *Stack) Pop() (uint64, bool) {
+	if s.depth == 0 {
+		return 0, false
+	}
+	addr := s.entries[s.top]
+	s.top = (s.top - 1 + len(s.entries)) % len(s.entries)
+	s.depth--
+	s.pops++
+	return addr, true
+}
+
+// Peek returns the top entry without consuming it.
+func (s *Stack) Peek() (uint64, bool) {
+	if s.depth == 0 {
+		return 0, false
+	}
+	return s.entries[s.top], true
+}
+
+// Depth returns the number of live entries.
+func (s *Stack) Depth() int { return s.depth }
+
+// Capacity returns the stack size.
+func (s *Stack) Capacity() int { return len(s.entries) }
+
+// Flush clears the stack (context switch on the isolated designs).
+func (s *Stack) Flush() {
+	s.depth = 0
+	s.top = 0
+}
+
+// Stats returns (pushes, pops, overflow wraps).
+func (s *Stack) Stats() (pushes, pops, wraps uint64) {
+	return s.pushes, s.pops, s.wraps
+}
+
+// StorageBits is the SRAM cost assuming 48-bit return addresses.
+func (s *Stack) StorageBits() int { return len(s.entries) * 48 }

@@ -1,0 +1,105 @@
+package ras
+
+import "testing"
+
+func TestPushPopLIFO(t *testing.T) {
+	s := New(8)
+	s.Push(0x100)
+	s.Push(0x200)
+	s.Push(0x300)
+	for _, want := range []uint64{0x300, 0x200, 0x100} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %#x ok=%v, want %#x", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop on empty stack returned a value")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New(4)
+	if _, ok := s.Peek(); ok {
+		t.Fatal("peek on empty stack returned a value")
+	}
+	s.Push(0x42)
+	v, ok := s.Peek()
+	if !ok || v != 0x42 {
+		t.Fatalf("peek = %#x ok=%v", v, ok)
+	}
+	if s.Depth() != 1 {
+		t.Fatal("peek consumed the entry")
+	}
+}
+
+func TestOverflowWraps(t *testing.T) {
+	s := New(4)
+	for i := 1; i <= 6; i++ {
+		s.Push(uint64(i) * 0x10)
+	}
+	// The two oldest entries were overwritten; the four newest pop in
+	// LIFO order.
+	for _, want := range []uint64{0x60, 0x50, 0x40, 0x30} {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %#x ok=%v, want %#x", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("wrapped entries resurrected")
+	}
+	if _, _, wraps := s.Stats(); wraps != 2 {
+		t.Fatalf("wraps = %d, want 2", wraps)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := New(4)
+	s.Push(1)
+	s.Push(2)
+	s.Flush()
+	if s.Depth() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop after flush returned a value")
+	}
+	// The stack must be reusable after a flush.
+	s.Push(9)
+	if v, ok := s.Pop(); !ok || v != 9 {
+		t.Fatal("stack unusable after flush")
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestStorage(t *testing.T) {
+	if got := New(32).StorageBits(); got != 32*48 {
+		t.Fatalf("storage = %d", got)
+	}
+}
+
+func TestDeepCallChain(t *testing.T) {
+	// A call chain within capacity predicts every return correctly.
+	s := New(32)
+	var addrs []uint64
+	for i := 0; i < 32; i++ {
+		a := uint64(0x1000 + i*0x40)
+		addrs = append(addrs, a)
+		s.Push(a)
+	}
+	for i := 31; i >= 0; i-- {
+		got, ok := s.Pop()
+		if !ok || got != addrs[i] {
+			t.Fatalf("depth-%d return mispredicted", i)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package secure
+
+import (
+	"hybp/internal/keys"
+	"hybp/internal/tage"
+)
+
+// Baseline is the unprotected shared BPU: every context reads and writes
+// the same tables under the same plain mapping — the configuration every
+// attack in Section II assumes.
+type Baseline struct {
+	cfg  Config
+	ps   *predictorSet
+	hist *histories
+
+	// Tournament option for the Section VII-F comparison.
+	tournament *tage.Tournament
+	tournHist  []*tage.TournamentHistory
+}
+
+// NewBaseline builds the unprotected BPU.
+func NewBaseline(cfg Config) *Baseline {
+	cfg = cfg.withDefaults()
+	b := &Baseline{cfg: cfg}
+	if cfg.UseTournament {
+		b.tournament = tage.NewTournament(tage.DefaultTournamentConfig())
+		b.tournHist = make([]*tage.TournamentHistory, cfg.Threads)
+		for i := range b.tournHist {
+			b.tournHist[i] = b.tournament.NewHistory()
+		}
+		// The BTB side still needs a hierarchy.
+		b.ps = newPredictorSet(cfg.geometryFor(), cfg.Seed)
+		return b
+	}
+	b.ps = newPredictorSet(cfg.geometryFor(), cfg.Seed)
+	b.hist = newHistories(b.ps.tage, cfg.Threads)
+	return b
+}
+
+// Access implements BPU.
+func (b *Baseline) Access(ctx Context, br Branch, now uint64) Result {
+	if b.tournament != nil {
+		res := Result{BTBLevel: -1, DirCorrect: true}
+		if br.Kind == Cond {
+			res.DirPred = b.tournament.Access(br.PC, br.Taken, b.tournHist[ctx.Thread])
+			res.DirCorrect = res.DirPred == br.Taken
+		}
+		if br.Taken {
+			stored, level, hit := b.ps.btb.Lookup(br.PC)
+			if hit {
+				res.RawHit = true
+				res.PredictedTarget = stored
+				res.BTBLevel = level
+				res.BTBLatency = b.ps.btb.Level(level).Latency()
+			}
+			if !hit || stored != br.Target {
+				b.ps.btb.Insert(br.PC, br.Target, ctx.id())
+			} else {
+				res.BTBHit = true
+			}
+		}
+		return res
+	}
+	return b.ps.access(br, b.hist.tage[ctx.Thread], b.hist.ras[ctx.Thread], ctx.id(), 0)
+}
+
+// OnContextSwitch implements BPU; the baseline retains all state (the
+// residual-state benefit the protected mechanisms give up).
+func (b *Baseline) OnContextSwitch(thread uint8, incoming uint16, now uint64) {
+	if b.hist != nil {
+		b.hist.reset(thread)
+	}
+}
+
+// OnPrivilegeChange implements BPU; the baseline does nothing.
+func (b *Baseline) OnPrivilegeChange(thread uint8, from, to keys.Privilege, now uint64) {}
+
+// StorageBits implements BPU.
+func (b *Baseline) StorageBits() int {
+	if b.tournament != nil {
+		return b.ps.btb.StorageBits() + b.tournament.StorageBits()
+	}
+	return b.ps.storageBits()
+}
+
+// BaselineBits implements BPU.
+func (b *Baseline) BaselineBits() int { return b.StorageBits() }
+
+// Name implements BPU.
+func (b *Baseline) Name() string {
+	if b.tournament != nil {
+		return "baseline-tournament"
+	}
+	return "baseline"
+}
+
+// Hierarchy exposes the BTB hierarchy for attack harnesses and tests.
+func (b *Baseline) Hierarchy() interface{ LastLevelProbeRate() float64 } { return b.ps.btb }
+
+var _ BPU = (*Baseline)(nil)
+
+// Flush is the flush-on-switch mechanism: the whole predictor is cleared at
+// every context switch and privilege change (paper Table I row 1). It
+// protects a single-threaded core but not SMT, where the co-resident thread
+// observes and pollutes shared state between flushes.
+type Flush struct {
+	cfg  Config
+	ps   *predictorSet
+	hist *histories
+
+	// FlushOnPrivilege can be disabled to decompose Figure 6's shaded
+	// bars (context-switch flush cost vs privilege-change flush cost).
+	FlushOnPrivilege bool
+	// FlushOnContext likewise isolates the privilege component.
+	FlushOnContext bool
+
+	ContextFlushes   uint64
+	PrivilegeFlushes uint64
+}
+
+// NewFlush builds the flush mechanism.
+func NewFlush(cfg Config) *Flush {
+	cfg = cfg.withDefaults()
+	f := &Flush{cfg: cfg, FlushOnPrivilege: true, FlushOnContext: true}
+	f.ps = newPredictorSet(cfg.geometryFor(), cfg.Seed)
+	f.hist = newHistories(f.ps.tage, cfg.Threads)
+	return f
+}
+
+// Access implements BPU.
+func (f *Flush) Access(ctx Context, br Branch, now uint64) Result {
+	return f.ps.access(br, f.hist.tage[ctx.Thread], f.hist.ras[ctx.Thread], ctx.id(), 0)
+}
+
+// OnContextSwitch implements BPU: flush everything.
+func (f *Flush) OnContextSwitch(thread uint8, incoming uint16, now uint64) {
+	f.hist.reset(thread)
+	if !f.FlushOnContext {
+		return
+	}
+	f.ps.flushAll()
+	f.ContextFlushes++
+}
+
+// OnPrivilegeChange implements BPU: flush everything.
+func (f *Flush) OnPrivilegeChange(thread uint8, from, to keys.Privilege, now uint64) {
+	if !f.FlushOnPrivilege {
+		return
+	}
+	f.ps.flushAll()
+	f.PrivilegeFlushes++
+}
+
+// StorageBits implements BPU.
+func (f *Flush) StorageBits() int { return f.ps.storageBits() }
+
+// BaselineBits implements BPU.
+func (f *Flush) BaselineBits() int { return f.ps.storageBits() }
+
+// Name implements BPU.
+func (f *Flush) Name() string { return "flush" }
+
+var _ BPU = (*Flush)(nil)

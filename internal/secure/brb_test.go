@@ -1,0 +1,116 @@
+package secure
+
+import (
+	"testing"
+
+	"hybp/internal/keys"
+)
+
+func TestBRBSaveRestore(t *testing.T) {
+	b := NewBRB(testCfg(1, 61))
+	ctx := Context{Thread: 0, Priv: keys.User, ASID: 10}
+	br := Branch{PC: 0x4000, Target: 0x8000, Taken: true, Kind: Jump}
+
+	// Train context 10, switch away, switch back: the checkpoint must
+	// restore the warm entry.
+	b.Access(ctx, br, 0)
+	if res := b.Access(ctx, br, 4); !res.BTBHit {
+		t.Fatal("entry not installed")
+	}
+	b.OnContextSwitch(0, 11, 100)
+	if res := b.Access(Context{Thread: 0, Priv: keys.User, ASID: 11}, br, 200); res.BTBHit {
+		t.Fatal("context 11 sees context 10's entry (isolation broken)")
+	}
+	b.OnContextSwitch(0, 10, 300)
+	if res := b.Access(ctx, br, 400); !res.BTBHit {
+		t.Fatal("checkpoint did not restore context 10's warm entry")
+	}
+	if b.Restores == 0 {
+		t.Fatal("restore not counted")
+	}
+}
+
+func TestBRBCheckpointCapacity(t *testing.T) {
+	b := NewBRB(testCfg(1, 67))
+	br := Branch{PC: 0x4000, Target: 0x8000, Taken: true, Kind: Jump}
+	// Touch 5 contexts (capacity 3): the first should be evicted.
+	for asid := uint16(10); asid < 15; asid++ {
+		b.Access(Context{Thread: 0, Priv: keys.User, ASID: asid}, br, uint64(asid)*10)
+		b.OnContextSwitch(0, asid+1, uint64(asid)*10+5)
+	}
+	if len(b.checkpoints) > 3 {
+		t.Fatalf("retained %d checkpoints, capacity 3", len(b.checkpoints))
+	}
+	// The stalest context (10) must be gone.
+	if _, ok := b.checkpoints[10]; ok {
+		t.Fatal("stalest checkpoint not evicted")
+	}
+}
+
+func TestBRBIsolation(t *testing.T) {
+	// BRB flushes live tables at switches: a fresh context never sees a
+	// previous context's state, even for direction prediction.
+	b := NewBRB(testCfg(1, 71))
+	trainer := Context{Thread: 0, Priv: keys.User, ASID: 20}
+	for i := 0; i < 50; i++ {
+		b.Access(trainer, Branch{PC: 0x100, Taken: true, Kind: Cond}, uint64(i))
+	}
+	b.OnContextSwitch(0, 21, 1000)
+	spy := Context{Thread: 0, Priv: keys.User, ASID: 21}
+	res := b.Access(spy, Branch{PC: 0x100, Taken: false, Kind: Cond}, 1001)
+	if res.DirPred {
+		t.Fatal("fresh context inherited trained direction (flush-at-switch broken)")
+	}
+}
+
+func TestBRBStorageOverheadAboveHyBP(t *testing.T) {
+	// Section VI: BRB's storage overhead is roughly twice HyBP's ("more
+	// than twice" in the paper's rounding) with three checkpoints per
+	// thread on SMT-2: 2 × 3 × 6.6 KB = 39.6 KB vs HyBP's ≈22.7 KB.
+	cfg := testCfg(2, 73)
+	brb := NewBRB(cfg)
+	hybp := Cost(NewHyBP(cfg))
+	brbOverheadKB := float64(brb.StorageBits()-brb.BaselineBits()) / 8 / 1024
+	if brbOverheadKB < 1.7*hybp.TotalKB {
+		t.Errorf("BRB overhead %.1f KB not ≈2× HyBP's %.1f KB", brbOverheadKB, hybp.TotalKB)
+	}
+	if got := OverheadPercent(brb); got < 25 {
+		t.Errorf("BRB storage overhead = %.1f%%, expected well above HyBP's ≈21%%", got)
+	}
+}
+
+func TestBRBPerformanceRetention(t *testing.T) {
+	// The point of BRB: a context switching out and back performs better
+	// than under Flush (which destroys everything).
+	run := func(b BPU) (hits int) {
+		ctx := Context{Thread: 0, Priv: keys.User, ASID: 10}
+		branches := make([]Branch, 32)
+		for i := range branches {
+			branches[i] = Branch{PC: uint64(0x1000 + i*8), Target: uint64(0x9000 + i*8), Taken: true, Kind: Jump}
+		}
+		now := uint64(0)
+		for round := 0; round < 3; round++ {
+			for _, br := range branches {
+				now += 4
+				b.Access(ctx, br, now)
+			}
+		}
+		b.OnContextSwitch(0, 11, now+10)
+		b.OnContextSwitch(0, 10, now+20)
+		for _, br := range branches {
+			now += 4
+			if res := b.Access(ctx, br, now); res.BTBHit {
+				hits++
+			}
+		}
+		return hits
+	}
+	brbHits := run(NewBRB(testCfg(1, 79)))
+	flushHits := run(NewFlush(testCfg(1, 79)))
+	if brbHits <= flushHits {
+		t.Fatalf("BRB retained %d hits vs Flush %d; retention buys nothing", brbHits, flushHits)
+	}
+	if brbHits < 20 {
+		t.Fatalf("BRB retained only %d/32 warm entries", brbHits)
+	}
+}

@@ -1,0 +1,52 @@
+package secure
+
+// CostReport itemizes HyBP's hardware cost the way the paper's Section
+// VII-D does: replicated upper-level tables, code books, and the cipher
+// engine's area expressed as equivalent storage.
+type CostReport struct {
+	// ReplicatedKB is the extra storage for the per-context L0/L1 BTB and
+	// bimodal base copies beyond the baseline's single set.
+	ReplicatedKB float64
+	// KeysTablesKB is the code-book SRAM (threads × 2 privileges tables).
+	KeysTablesKB float64
+	// CipherKB is the QARMA-64 engine area expressed as equivalent
+	// storage: the paper quotes 1238.1 µm² in 7 nm FinFET ≈ 1.4 KB.
+	CipherKB float64
+	// TotalKB sums the above.
+	TotalKB float64
+	// BaselineKB is the unprotected BPU's storage.
+	BaselineKB float64
+	// OverheadPercent is TotalKB / BaselineKB × 100 — the paper reports
+	// 21.1% (22.7 KB over a ≈107 KB BPU).
+	OverheadPercent float64
+}
+
+// qarmaEquivalentKB is the paper's storage-equivalent area for the
+// QARMA-64 engine.
+const qarmaEquivalentKB = 1.4
+
+// Cost computes the Section VII-D hardware accounting for a HyBP instance.
+func Cost(h *HyBP) CostReport {
+	bitsToKB := func(bits int) float64 { return float64(bits) / 8 / 1024 }
+
+	var rep CostReport
+	contexts := h.cfg.contexts()
+	// One set of upper-level tables comes with the baseline; the extra
+	// copies are overhead.
+	var oneCtxBits, keysBits int
+	for _, ctx := range contexts {
+		hc := h.privPart[ctx.id()]
+		oneCtxBits = hc.l0.StorageBits() + hc.l1.StorageBits() + hc.base.StorageBits()
+		keysBits += hc.keys.StorageBits()
+	}
+	extraCopies := len(contexts) - 1
+	rep.ReplicatedKB = bitsToKB(oneCtxBits * extraCopies)
+	rep.KeysTablesKB = bitsToKB(keysBits)
+	rep.CipherKB = qarmaEquivalentKB
+	rep.TotalKB = rep.ReplicatedKB + rep.KeysTablesKB + rep.CipherKB
+	rep.BaselineKB = bitsToKB(h.BaselineBits())
+	if rep.BaselineKB > 0 {
+		rep.OverheadPercent = 100 * rep.TotalKB / rep.BaselineKB
+	}
+	return rep
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"hybp/internal/metrics"
+	"hybp/internal/secure"
+)
+
+// BRBResult is the Section VII-E style comparison of HyBP against the
+// retention-buffer state of the art: similar performance at roughly half
+// the storage overhead.
+type BRBResult struct {
+	HyBPLoss, BRBLoss             float64 // % degradation vs baseline
+	HyBPOverheadKB, BRBOverheadKB float64
+}
+
+// BRBComparison measures both mechanisms on single-thread context-switch
+// workloads at the default interval and accounts their storage.
+func BRBComparison(sc Scale, benches []string) BRBResult {
+	if len(benches) == 0 {
+		benches = []string{"gcc", "deepsjeng", "xz", "imagick"}
+	}
+	var hy, brb []float64
+	for _, b := range benches {
+		base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), sc.DefaultInterval, sc)
+		hy = append(hy, degradation(base, runSingle(b, newBPU(MechHyBP, 1, sc.Seed), sc.DefaultInterval, sc)))
+		brb = append(brb, degradation(base, runSingle(b, newBPU(MechBRB, 1, sc.Seed), sc.DefaultInterval, sc)))
+	}
+	hybpCost := secure.Cost(secure.NewHyBP(secure.Config{Threads: 2, Seed: sc.Seed}))
+	brbBPU := secure.NewBRB(secure.Config{Threads: 2, Seed: sc.Seed})
+	return BRBResult{
+		HyBPLoss:       metrics.Mean(hy),
+		BRBLoss:        metrics.Mean(brb),
+		HyBPOverheadKB: hybpCost.TotalKB,
+		BRBOverheadKB:  float64(brbBPU.StorageBits()-brbBPU.BaselineBits()) / 8 / 1024,
+	}
+}
+
+// Print writes the comparison.
+func (r BRBResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %14s %16s\n", "", "perf loss (%)", "overhead (KB)")
+	fmt.Fprintf(w, "%-8s %14.2f %16.1f\n", "HyBP", r.HyBPLoss, r.HyBPOverheadKB)
+	fmt.Fprintf(w, "%-8s %14.2f %16.1f\n", "BRB", r.BRBLoss, r.BRBOverheadKB)
+	fmt.Fprintf(w, "storage ratio BRB/HyBP: %.2fx (paper: \"more than twice\")\n",
+		r.BRBOverheadKB/r.HyBPOverheadKB)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"hybp/internal/metrics"
+)
+
+// SeedStats summarizes a metric measured across independent seeds: the
+// paper reports single Gem5 numbers; we can do better and expose run-to-run
+// variation so shape claims are distinguishable from noise.
+type SeedStats struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// CI95 is the half-width of the 95% confidence interval of the mean
+// (normal approximation).
+func (s SeedStats) CI95() float64 {
+	if s.N <= 1 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String implements fmt.Stringer.
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d, min %.3f, max %.3f)", s.Mean, s.CI95(), s.N, s.Min, s.Max)
+}
+
+// Summarize computes SeedStats over xs.
+func Summarize(xs []float64) SeedStats {
+	if len(xs) == 0 {
+		return SeedStats{}
+	}
+	st := SeedStats{N: len(xs), Min: xs[0], Max: xs[0]}
+	st.Mean = metrics.Mean(xs)
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - st.Mean
+		varSum += d * d
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	if len(xs) > 1 {
+		st.StdDev = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	return st
+}
+
+// MultiSeedDegradation measures a mechanism's single-thread degradation on
+// one benchmark across n seeds at the default interval.
+func MultiSeedDegradation(sc Scale, bench string, id MechanismID, n int) SeedStats {
+	var xs []float64
+	for i := 0; i < n; i++ {
+		s := sc
+		s.Seed = sc.Seed + uint64(i)*7919
+		base := runSingle(bench, newBPU(MechBaseline, 1, s.Seed), s.DefaultInterval, s)
+		mech := runSingle(bench, newBPU(id, 1, s.Seed), s.DefaultInterval, s)
+		xs = append(xs, degradation(base, mech))
+	}
+	return Summarize(xs)
+}
+
+// PrintMultiSeed writes a multi-seed comparison of the mechanisms on one
+// benchmark.
+func PrintMultiSeed(w io.Writer, sc Scale, bench string, n int) {
+	fmt.Fprintf(w, "%s, %d seeds, interval %s:\n", bench, n, fmtInterval(sc.DefaultInterval))
+	for _, id := range []MechanismID{MechFlush, MechPartition, MechBRB, MechHyBP} {
+		st := MultiSeedDegradation(sc, bench, id, n)
+		fmt.Fprintf(w, "  %-12s %s %%\n", id, st)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sim drives the paper's experiments: each exported function
+// regenerates one table or figure of the evaluation (Section VII) or the
+// security analysis (Section VI), returning structured rows the CLIs and
+// benchmarks print. DESIGN.md §3 maps every experiment to its function.
+package sim
+
+import (
+	"hybp/internal/metrics"
+	"hybp/internal/pipeline"
+	"hybp/internal/secure"
+	"hybp/internal/workload"
+)
+
+// Scale sets simulation fidelity. The paper warms 1B and measures 1B
+// instructions per point on Gem5; our scales trade wall-clock for
+// confidence while preserving relative shapes.
+type Scale struct {
+	// MaxCycles is the simulated cycle budget per data point.
+	MaxCycles uint64
+	// WarmupCycles are excluded from measurement.
+	WarmupCycles uint64
+	// Intervals is the context-switch sweep (cycles) for Figures 5/6.
+	Intervals []uint64
+	// DefaultInterval is the "default Linux time slice" point (16M cycles
+	// at 4 GHz in the paper) used by single-interval experiments.
+	DefaultInterval uint64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick returns a unit-test scale: small but large enough that the
+// orderings the paper reports are stable.
+func Quick() Scale {
+	return Scale{
+		MaxCycles:       6_000_000,
+		WarmupCycles:    1_000_000,
+		Intervals:       []uint64{500_000, 2_000_000},
+		DefaultInterval: 2_000_000,
+		Seed:            2022,
+	}
+}
+
+// Medium is the CLI default: minutes of wall clock for the full suite.
+func Medium() Scale {
+	return Scale{
+		MaxCycles:       48_000_000,
+		WarmupCycles:    8_000_000,
+		Intervals:       []uint64{256_000, 512_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000},
+		DefaultInterval: 16_000_000,
+		Seed:            2022,
+	}
+}
+
+// Full stretches every point for the EXPERIMENTS.md record.
+func Full() Scale {
+	s := Medium()
+	s.MaxCycles = 160_000_000
+	s.WarmupCycles = 24_000_000
+	return s
+}
+
+// MechanismID names a defense mechanism in experiment output.
+type MechanismID string
+
+// Mechanism identifiers.
+const (
+	MechBaseline    MechanismID = "baseline"
+	MechFlush       MechanismID = "flush"
+	MechPartition   MechanismID = "partition"
+	MechReplication MechanismID = "replication"
+	MechBRB         MechanismID = "brb"
+	MechHyBP        MechanismID = "hybp"
+)
+
+// newBPU instantiates a mechanism for the given thread count.
+func newBPU(id MechanismID, threads int, seed uint64) secure.BPU {
+	cfg := secure.Config{Threads: threads, Seed: seed}
+	switch id {
+	case MechBaseline:
+		return secure.NewBaseline(cfg)
+	case MechFlush:
+		return secure.NewFlush(cfg)
+	case MechPartition:
+		return secure.NewPartition(cfg)
+	case MechReplication:
+		return secure.NewReplication(cfg, 1.0)
+	case MechBRB:
+		return secure.NewBRB(cfg)
+	case MechHyBP:
+		return secure.NewHyBP(cfg)
+	default:
+		panic("sim: unknown mechanism " + string(id))
+	}
+}
+
+// partnerOf picks the time-sharing partner process for single-thread
+// context-switch studies (a different benchmark keeps the pollution
+// realistic and deterministic).
+func partnerOf(bench string) workload.Profile {
+	if bench == "gcc" {
+		return workload.Get("perlbench")
+	}
+	return workload.Get("gcc")
+}
+
+// runSingle measures one benchmark on one BPU in single-thread mode with
+// context switching.
+func runSingle(bench string, bpu secure.BPU, interval uint64, sc Scale) pipeline.ThreadResult {
+	s := pipeline.New(pipeline.Config{
+		Core: pipeline.DefaultCoreConfig(),
+		BPU:  bpu,
+		Threads: []pipeline.ThreadSpec{{
+			Workload:      workload.Get(bench),
+			OtherWorkload: partnerOf(bench),
+			Seed:          sc.Seed ^ hash(bench),
+		}},
+		SwitchInterval: interval,
+		MaxCycles:      sc.MaxCycles,
+		WarmupCycles:   sc.WarmupCycles,
+	})
+	return s.Run().Threads[0]
+}
+
+// runSingleCore is runSingle with an explicit core config (Figure 2's
+// front-end sweep).
+func runSingleCore(bench string, bpu secure.BPU, interval uint64, core pipeline.CoreConfig, sc Scale) pipeline.ThreadResult {
+	s := pipeline.New(pipeline.Config{
+		Core: core,
+		BPU:  bpu,
+		Threads: []pipeline.ThreadSpec{{
+			Workload:      workload.Get(bench),
+			OtherWorkload: partnerOf(bench),
+			Seed:          sc.Seed ^ hash(bench),
+		}},
+		SwitchInterval: interval,
+		MaxCycles:      sc.MaxCycles,
+		WarmupCycles:   sc.WarmupCycles,
+	})
+	return s.Run().Threads[0]
+}
+
+// runSMT measures one Table V mix on one BPU (SMT-2, both threads
+// measured, context switching on both).
+func runSMT(mix workload.Mix, bpu secure.BPU, interval uint64, sc Scale) pipeline.Result {
+	s := pipeline.New(pipeline.Config{
+		Core: pipeline.DefaultCoreConfig(),
+		BPU:  bpu,
+		Threads: []pipeline.ThreadSpec{
+			{Workload: workload.Get(mix.A), OtherWorkload: partnerOf(mix.A), Seed: sc.Seed ^ hash(mix.A)},
+			{Workload: workload.Get(mix.B), OtherWorkload: partnerOf(mix.B), Seed: sc.Seed ^ hash(mix.B) ^ 0xF00},
+		},
+		SwitchInterval: interval,
+		MaxCycles:      sc.MaxCycles,
+		WarmupCycles:   sc.WarmupCycles,
+	})
+	return s.Run()
+}
+
+// runSolo measures one benchmark alone (no partner, no switches) on a
+// mechanism — the Hmean denominator.
+func runSolo(bench string, bpu secure.BPU, sc Scale) pipeline.ThreadResult {
+	s := pipeline.New(pipeline.Config{
+		Core:         pipeline.DefaultCoreConfig(),
+		BPU:          bpu,
+		Threads:      []pipeline.ThreadSpec{{Workload: workload.Get(bench), Seed: sc.Seed ^ hash(bench)}},
+		MaxCycles:    sc.MaxCycles,
+		WarmupCycles: sc.WarmupCycles,
+	})
+	return s.Run().Threads[0]
+}
+
+func hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// degradation computes the percentage IPC loss of mech vs base.
+func degradation(base, mech pipeline.ThreadResult) float64 {
+	return metrics.DegradationPercent(base.IPC(), mech.IPC())
+}

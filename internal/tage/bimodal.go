@@ -1,0 +1,71 @@
+package tage
+
+// Bimodal is the PC-indexed base predictor of the paper's TAGE instance:
+// an 8 Kbit prediction array with a 4 Kbit hysteresis array shared 2:1,
+// exactly the split the Figure 3 caption gives. Together a (prediction,
+// hysteresis) pair behaves as a 2-bit saturating counter whose hysteresis
+// bit is shared between two neighboring branches — Seznec's storage
+// optimization.
+//
+// In HyBP the bimodal base is physically isolated per (thread, privilege)
+// context (shaded in the paper's Figure 3(b)); mechanisms achieve that by
+// instantiating one Bimodal per context and swapping it on context switch.
+type Bimodal struct {
+	pred     []byte // 1 bit per entry: predicted direction
+	hyst     []byte // 1 bit per pair of entries: confidence
+	predMask uint64
+}
+
+// NewBimodal builds a bimodal base with predEntries prediction bits
+// (must be a power of two) and predEntries/2 hysteresis bits.
+func NewBimodal(predEntries int) *Bimodal {
+	if predEntries <= 0 || predEntries&(predEntries-1) != 0 {
+		panic("tage: bimodal entries must be a positive power of two")
+	}
+	b := &Bimodal{
+		pred:     make([]byte, predEntries),
+		hyst:     make([]byte, predEntries/2),
+		predMask: uint64(predEntries - 1),
+	}
+	for i := range b.hyst {
+		b.hyst[i] = 1 // weakly not-taken start, matching common practice
+	}
+	return b
+}
+
+func (b *Bimodal) index(pc uint64) uint64 { return (pc >> 1) & b.predMask }
+
+// Predict returns the predicted direction for pc.
+func (b *Bimodal) Predict(pc uint64) bool {
+	return b.pred[b.index(pc)] == 1
+}
+
+// Update trains the 2-bit (prediction, shared hysteresis) counter.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	state := b.pred[i]<<1 | b.hyst[i/2]
+	if taken {
+		if state < 3 {
+			state++
+		}
+	} else {
+		if state > 0 {
+			state--
+		}
+	}
+	b.pred[i] = state >> 1
+	b.hyst[i/2] = state & 1
+}
+
+// Flush resets the predictor to its initial state.
+func (b *Bimodal) Flush() {
+	for i := range b.pred {
+		b.pred[i] = 0
+	}
+	for i := range b.hyst {
+		b.hyst[i] = 1
+	}
+}
+
+// StorageBits returns the storage cost in bits.
+func (b *Bimodal) StorageBits() int { return len(b.pred) + len(b.hyst) }

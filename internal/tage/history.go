@@ -1,0 +1,132 @@
+// Package tage implements the direction-prediction substrate: the
+// TAGE-SC-L predictor of the paper's baseline core (Seznec, CBP-5 2016; the
+// paper's Figure 3(b) instance), its bimodal base predictor, and the
+// decades-old tournament predictor the paper compares against in Section
+// VII-F.
+//
+// Geometry follows the paper's caption: a PC-indexed bimodal base with
+// 8 Kbit prediction and 4 Kbit (shared) hysteresis arrays, and thirty
+// equal-sized tagged tables in two bank groups with 8-bit and 11-bit tags,
+// 1K entries each, signed prediction counters and useful counters. A
+// statistical corrector and a loop predictor complete the SC-L part.
+//
+// Like the BTB substrate, the tagged tables accept an injected index/tag
+// transform so the secure mechanisms (internal/secure) can partition or
+// randomize them without forking predictor logic, and the base predictor is
+// a swappable component so HyBP can physically isolate it per (thread,
+// privilege) context.
+package tage
+
+// HistoryBuffer is a circular global-history bit buffer. Bit 0 is the most
+// recent outcome.
+type HistoryBuffer struct {
+	bits []byte
+	pos  int // index of the most recent bit
+	size int
+}
+
+// NewHistoryBuffer returns a buffer holding size bits, all zero.
+func NewHistoryBuffer(size int) *HistoryBuffer {
+	return &HistoryBuffer{bits: make([]byte, size), size: size}
+}
+
+// Push records a new most-recent bit.
+func (h *HistoryBuffer) Push(taken bool) {
+	h.pos--
+	if h.pos < 0 {
+		h.pos = h.size - 1
+	}
+	if taken {
+		h.bits[h.pos] = 1
+	} else {
+		h.bits[h.pos] = 0
+	}
+}
+
+// Bit returns the i-th most recent bit (0 = newest).
+func (h *HistoryBuffer) Bit(i int) byte {
+	return h.bits[(h.pos+i)%h.size]
+}
+
+// Size returns the buffer capacity in bits.
+func (h *HistoryBuffer) Size() int { return h.size }
+
+// Reset zeroes the history.
+func (h *HistoryBuffer) Reset() {
+	for i := range h.bits {
+		h.bits[i] = 0
+	}
+	h.pos = 0
+}
+
+// foldedHistory incrementally maintains history of length origLen folded
+// (by XOR) into compLen bits, the standard TAGE implementation trick that
+// keeps per-prediction work O(1) instead of O(history length).
+type foldedHistory struct {
+	comp     uint32
+	compLen  int
+	origLen  int
+	outPoint int
+}
+
+func newFolded(origLen, compLen int) foldedHistory {
+	return foldedHistory{compLen: compLen, origLen: origLen, outPoint: origLen % compLen}
+}
+
+// update folds in the newest bit and folds out the bit that just fell off
+// the end of the original history window. It must be called after
+// HistoryBuffer.Push with the same buffer.
+func (f *foldedHistory) update(h *HistoryBuffer) {
+	f.comp = (f.comp << 1) | uint32(h.Bit(0))
+	f.comp ^= uint32(h.Bit(f.origLen)) << uint(f.outPoint)
+	f.comp ^= f.comp >> uint(f.compLen)
+	f.comp &= (1 << uint(f.compLen)) - 1
+}
+
+// reset recomputes the fold from scratch over the buffer; used when history
+// is cleared wholesale.
+func (f *foldedHistory) reset(h *HistoryBuffer) {
+	f.comp = 0
+	for i := f.origLen - 1; i >= 0; i-- {
+		f.comp = (f.comp << 1) | uint32(h.Bit(i))
+		f.comp = (f.comp ^ (f.comp >> uint(f.compLen))) & (1<<uint(f.compLen) - 1)
+	}
+	// The incremental update and this recomputation agree on the all-zero
+	// history, which is the only state reset is used with.
+}
+
+// History is the per-hardware-thread speculation history consumed by a Tage
+// instance: the global history register, a path history, and the folded
+// images per tagged table. Each SMT thread owns one History while the
+// prediction tables themselves are shared (or partitioned) per the active
+// defense mechanism.
+type History struct {
+	ghr   *HistoryBuffer
+	path  uint64
+	fIdx  []foldedHistory // per tagged table, folded to index width
+	fTag0 []foldedHistory // per tagged table, folded to tag width
+	fTag1 []foldedHistory // per tagged table, folded to tag width - 1
+}
+
+// Update pushes a resolved branch outcome into the history.
+func (hs *History) Update(pc uint64, taken bool) {
+	hs.ghr.Push(taken)
+	hs.path = (hs.path << 1) | ((pc >> 2) & 1)
+	for i := range hs.fIdx {
+		hs.fIdx[i].update(hs.ghr)
+		hs.fTag0[i].update(hs.ghr)
+		hs.fTag1[i].update(hs.ghr)
+	}
+}
+
+// Reset clears all history state (used when a software context is swapped
+// in with no retained predictor state).
+func (hs *History) Reset() {
+	hs.ghr.Reset()
+	hs.path = 0
+	for i := range hs.fIdx {
+		hs.fIdx[i].reset(hs.ghr)
+		hs.fTag0[i].reset(hs.ghr)
+		hs.fTag1[i].reset(hs.ghr)
+	}
+}

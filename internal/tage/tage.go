@@ -1,0 +1,533 @@
+package tage
+
+import (
+	"math"
+
+	"hybp/internal/rng"
+)
+
+// TableSpec describes one tagged TAGE table.
+type TableSpec struct {
+	// Entries is the number of entries (power of two).
+	Entries int
+	// TagBits is the partial tag width (8 or 11 in the paper's instance).
+	TagBits int
+	// UBits is the useful-counter width (1 or 2).
+	UBits int
+	// HistLen is the global history length hashed into this table's index.
+	HistLen int
+}
+
+// entryBits is the storage width of one entry: tag + 3-bit signed counter +
+// useful bits (12 bits and 16 bits for the paper's two bank groups).
+func (s TableSpec) entryBits() int { return s.TagBits + 3 + s.UBits }
+
+// Config describes a TAGE-SC-L instance.
+type Config struct {
+	// Tables lists the tagged tables, shortest history first.
+	Tables []TableSpec
+	// BimodalEntries sizes the base predictor's prediction array.
+	BimodalEntries int
+	// UseSC enables the statistical corrector.
+	UseSC bool
+	// UseLoop enables the loop predictor.
+	UseLoop bool
+	// SCBiasEntries and SCGEntries size the statistical corrector's bias
+	// and history tables (defaults 4096 and 1024 when zero); LoopSets
+	// sizes the loop predictor (default 16 sets of 4 ways). Scaled-down
+	// partitions shrink these along with the tagged tables.
+	SCBiasEntries int
+	SCGEntries    int
+	LoopSets      int
+	// Seed seeds the allocation RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's TAGE-SC-L geometry (Figure 3 caption):
+// thirty 1K-entry tagged tables — ten 12-bit-entry banks with 8-bit tags and
+// twenty 16-bit-entry banks with 11-bit tags — over an 8 Kbit/4 Kbit bimodal
+// base, with SC and loop components. History lengths grow geometrically from
+// 4 to 640.
+func DefaultConfig(seed uint64) Config {
+	tables := make([]TableSpec, 30)
+	const minHist, maxHist = 4.0, 640.0
+	ratio := 1.0
+	if len(tables) > 1 {
+		ratio = math.Pow(maxHist/minHist, 1.0/float64(len(tables)-1))
+	}
+	h := minHist
+	prev := 0
+	for i := range tables {
+		hl := int(h + 0.5)
+		if hl <= prev {
+			hl = prev + 1
+		}
+		prev = hl
+		spec := TableSpec{Entries: 1024, HistLen: hl}
+		if i < 10 {
+			spec.TagBits, spec.UBits = 8, 1
+		} else {
+			spec.TagBits, spec.UBits = 11, 2
+		}
+		tables[i] = spec
+		h *= ratio
+	}
+	return Config{
+		Tables:         tables,
+		BimodalEntries: 8192,
+		UseSC:          true,
+		UseLoop:        true,
+		Seed:           seed,
+	}
+}
+
+// SmallConfig returns a scaled-down instance for fast unit tests.
+func SmallConfig(seed uint64) Config {
+	tables := []TableSpec{
+		{Entries: 256, TagBits: 8, UBits: 1, HistLen: 4},
+		{Entries: 256, TagBits: 8, UBits: 1, HistLen: 8},
+		{Entries: 256, TagBits: 11, UBits: 2, HistLen: 16},
+		{Entries: 256, TagBits: 11, UBits: 2, HistLen: 32},
+		{Entries: 256, TagBits: 11, UBits: 2, HistLen: 64},
+	}
+	return Config{Tables: tables, BimodalEntries: 1024, UseSC: true, UseLoop: true, Seed: seed}
+}
+
+// IndexTransform remaps a tagged table's (index, tag) pair for the branch
+// at pc. The secure mechanisms inject partition offsets or per-context
+// keyed permutations here (keyed by PC group, as HyBP's randomized index
+// keys table is); the identity transform is the unprotected baseline.
+type IndexTransform func(table int, pc, index, tag uint64) (uint64, uint64)
+
+// tagEntry is one tagged-table entry. Ctr is the 3-bit signed prediction
+// counter (sign = direction), U the useful counter.
+type tagEntry struct {
+	tag   uint16
+	ctr   int8
+	u     uint8
+	valid bool
+}
+
+// Stats counts predictor activity.
+type Stats struct {
+	Predictions    uint64
+	Mispredictions uint64
+	ProviderHits   uint64 // predictions served by a tagged table
+	BaseHits       uint64 // predictions served by the bimodal base
+	SCFlips        uint64 // predictions overridden by the statistical corrector
+	LoopHits       uint64 // predictions served by the loop predictor
+	Allocations    uint64
+	AllocFailures  uint64
+}
+
+// Tage is a TAGE-SC-L direction predictor.
+//
+// The tagged tables are shared structures (subject to the injected
+// IndexTransform); the bimodal base is a swappable component so mechanisms
+// can physically isolate it per context; per-thread speculation history
+// lives in History values created by NewHistory.
+type Tage struct {
+	cfg    Config
+	tables [][]tagEntry
+	masks  []uint64
+	base   *Bimodal
+	xform  IndexTransform
+
+	useAltOnNA int8 // 4-bit counter choosing alt prediction for fresh entries
+	tick       uint64
+
+	sc   *statCorrector
+	loop *loopPredictor
+	rand *rng.Rand
+
+	stats Stats
+}
+
+// New builds a Tage from cfg.
+func New(cfg Config) *Tage {
+	if len(cfg.Tables) == 0 {
+		panic("tage: config needs at least one tagged table")
+	}
+	t := &Tage{
+		cfg:    cfg,
+		tables: make([][]tagEntry, len(cfg.Tables)),
+		masks:  make([]uint64, len(cfg.Tables)),
+		base:   NewBimodal(cfg.BimodalEntries),
+		rand:   rng.New(cfg.Seed ^ 0x7a6e),
+	}
+	for i, spec := range cfg.Tables {
+		if spec.Entries <= 0 || spec.Entries&(spec.Entries-1) != 0 {
+			panic("tage: table entries must be a positive power of two")
+		}
+		t.tables[i] = make([]tagEntry, spec.Entries)
+		t.masks[i] = uint64(spec.Entries - 1)
+	}
+	if cfg.UseSC {
+		t.sc = newStatCorrector(cfg.SCBiasEntries, cfg.SCGEntries)
+	}
+	if cfg.UseLoop {
+		t.loop = newLoopPredictor(cfg.Seed^0x100b, cfg.LoopSets)
+	}
+	return t
+}
+
+// NewHistory allocates per-thread history state matching this predictor's
+// geometry.
+func (t *Tage) NewHistory() *History {
+	maxLen := 0
+	for _, s := range t.cfg.Tables {
+		if s.HistLen > maxLen {
+			maxLen = s.HistLen
+		}
+	}
+	hs := &History{
+		ghr:   NewHistoryBuffer(maxLen + 64),
+		fIdx:  make([]foldedHistory, len(t.cfg.Tables)),
+		fTag0: make([]foldedHistory, len(t.cfg.Tables)),
+		fTag1: make([]foldedHistory, len(t.cfg.Tables)),
+	}
+	for i, s := range t.cfg.Tables {
+		idxBits := bitsFor(s.Entries)
+		hs.fIdx[i] = newFolded(s.HistLen, idxBits)
+		hs.fTag0[i] = newFolded(s.HistLen, s.TagBits)
+		hs.fTag1[i] = newFolded(s.HistLen, s.TagBits-1)
+	}
+	return hs
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// SetIndexTransform injects xf into tagged-table accesses (nil restores the
+// identity mapping).
+func (t *Tage) SetIndexTransform(xf IndexTransform) { t.xform = xf }
+
+// SetBase swaps the bimodal base predictor (HyBP's per-context physical
+// isolation); it returns the previous base.
+func (t *Tage) SetBase(b *Bimodal) *Bimodal {
+	old := t.base
+	t.base = b
+	return old
+}
+
+// Base returns the current bimodal base.
+func (t *Tage) Base() *Bimodal { return t.base }
+
+// Stats returns a copy of the accumulated statistics.
+func (t *Tage) Stats() Stats { return t.stats }
+
+// ResetStats zeroes statistics.
+func (t *Tage) ResetStats() { t.stats = Stats{} }
+
+// index computes the effective (index, tag) of pc in tagged table ti under
+// history hs, applying the injected transform.
+func (t *Tage) index(ti int, pc uint64, hs *History) (uint64, uint64) {
+	spec := t.cfg.Tables[ti]
+	idx := (pc >> 1) ^ (pc >> uint(1+ti)) ^ uint64(hs.fIdx[ti].comp) ^ (hs.path & 0x3F)
+	idx &= t.masks[ti]
+	tag := ((pc >> 1) ^ uint64(hs.fTag0[ti].comp) ^ (uint64(hs.fTag1[ti].comp) << 1)) &
+		(1<<uint(spec.TagBits) - 1)
+	if t.xform != nil {
+		idx, tag = t.xform(ti, pc, idx, tag)
+		idx &= t.masks[ti]
+		tag &= 1<<uint(spec.TagBits) - 1
+	}
+	return idx, tag
+}
+
+// lookup finds the provider (longest matching table) and the alternate
+// prediction.
+type lookupResult struct {
+	provider    int // table index, -1 if none
+	providerIdx uint64
+	altPred     bool
+	altFromBase bool
+	providerNew bool // provider entry looks newly allocated
+	tagePred    bool
+	baseIdx     uint64
+}
+
+func (t *Tage) lookup(pc uint64, hs *History) lookupResult {
+	res := lookupResult{provider: -1}
+	altSet := false
+	for ti := len(t.tables) - 1; ti >= 0; ti-- {
+		idx, tag := t.index(ti, pc, hs)
+		e := &t.tables[ti][idx]
+		if e.valid && e.tag == uint16(tag) {
+			if res.provider == -1 {
+				res.provider = ti
+				res.providerIdx = idx
+				res.providerNew = e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+			} else if !altSet {
+				res.altPred = e.ctr >= 0
+				altSet = true
+			}
+		}
+		if res.provider != -1 && altSet {
+			break
+		}
+	}
+	if !altSet {
+		res.altPred = t.base.Predict(pc)
+		res.altFromBase = true
+	}
+	if res.provider >= 0 {
+		e := &t.tables[res.provider][res.providerIdx]
+		pred := e.ctr >= 0
+		if res.providerNew && t.useAltOnNA >= 0 {
+			pred = res.altPred
+		}
+		res.tagePred = pred
+	} else {
+		res.tagePred = res.altPred
+	}
+	return res
+}
+
+// Predict returns the final TAGE-SC-L prediction for pc without updating
+// any state. Attack harnesses use it to probe; the simulation fast path is
+// Access.
+func (t *Tage) Predict(pc uint64, hs *History) bool {
+	res := t.lookup(pc, hs)
+	pred := res.tagePred
+	if t.loop != nil {
+		if lp, ok, conf := t.loop.predict(pc); ok && conf {
+			pred = lp
+		}
+	}
+	if t.sc != nil && res.provider >= 0 {
+		e := &t.tables[res.provider][res.providerIdx]
+		if weakCtr(e.ctr) {
+			if scPred, use := t.sc.predict(pc, hs, pred); use {
+				pred = scPred
+			}
+		}
+	}
+	return pred
+}
+
+// Access predicts pc, then trains the predictor with the actual outcome,
+// returning the prediction. It is the single-pass API the pipeline model
+// uses (prediction and resolution are adjacent in a serial simulation).
+func (t *Tage) Access(pc uint64, taken bool, hs *History) bool {
+	t.stats.Predictions++
+	res := t.lookup(pc, hs)
+	pred := res.tagePred
+	finalIsLoop := false
+
+	if t.loop != nil {
+		if lp, ok, conf := t.loop.predict(pc); ok && conf {
+			pred = lp
+			finalIsLoop = true
+			t.stats.LoopHits++
+		}
+	}
+
+	scUsed := false
+	scPred := pred
+	if t.sc != nil && res.provider >= 0 && !finalIsLoop {
+		e := &t.tables[res.provider][res.providerIdx]
+		if weakCtr(e.ctr) {
+			if sp, use := t.sc.predict(pc, hs, res.tagePred); use {
+				scPred = sp
+				scUsed = true
+				if sp != pred {
+					t.stats.SCFlips++
+					pred = sp
+				}
+			}
+		}
+	}
+
+	if res.provider >= 0 {
+		t.stats.ProviderHits++
+	} else {
+		t.stats.BaseHits++
+	}
+	if pred != taken {
+		t.stats.Mispredictions++
+	}
+
+	t.train(pc, taken, hs, res, scUsed, scPred)
+	hs.Update(pc, taken)
+	return pred
+}
+
+func weakCtr(c int8) bool { return c == 0 || c == -1 }
+
+// train applies the TAGE update rules.
+func (t *Tage) train(pc uint64, taken bool, hs *History, res lookupResult, scUsed bool, scPred bool) {
+	if t.loop != nil {
+		t.loop.update(pc, taken, res.tagePred)
+	}
+	if t.sc != nil && scUsed {
+		t.sc.update(pc, hs, taken, scPred)
+	}
+
+	if res.provider >= 0 {
+		e := &t.tables[res.provider][res.providerIdx]
+		provPred := e.ctr >= 0
+
+		// useAltOnNA bookkeeping: learn whether fresh entries beat the
+		// alternate prediction.
+		if res.providerNew && provPred != res.altPred {
+			if provPred == taken {
+				if t.useAltOnNA > -8 {
+					t.useAltOnNA--
+				}
+			} else if t.useAltOnNA < 7 {
+				t.useAltOnNA++
+			}
+		}
+
+		// Useful counter: provider proved (un)useful versus the alternate.
+		if provPred != res.altPred {
+			maxU := uint8(1)<<uint(t.cfg.Tables[res.provider].UBits) - 1
+			if provPred == taken {
+				if e.u < maxU {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+
+		// Train the provider counter.
+		e.ctr = satUpdate(e.ctr, taken)
+
+		// Train the base when it supplied the alternate for a fresh entry,
+		// keeping the fallback warm.
+		if res.altFromBase && res.providerNew {
+			t.base.Update(pc, taken)
+		}
+
+		if res.tagePred != taken {
+			t.allocate(pc, taken, hs, res.provider)
+		}
+	} else {
+		t.base.Update(pc, taken)
+		if res.tagePred != taken {
+			t.allocate(pc, taken, hs, -1)
+		}
+	}
+
+	t.tick++
+	if t.tick&(1<<18-1) == 0 {
+		t.ageUseful()
+	}
+}
+
+// allocate tries to claim an entry in a table with longer history than the
+// provider, per the TAGE allocation rule: pick among u==0 candidates
+// (randomized start to avoid ping-pong), and on total failure decay the
+// candidates' useful counters.
+func (t *Tage) allocate(pc uint64, taken bool, hs *History, provider int) {
+	start := provider + 1
+	if start >= len(t.tables) {
+		return
+	}
+	// Random skip of up to 2 tables decorrelates allocation storms.
+	start += t.rand.Intn(3)
+	if start >= len(t.tables) {
+		start = len(t.tables) - 1
+	}
+	for ti := start; ti < len(t.tables); ti++ {
+		idx, tag := t.index(ti, pc, hs)
+		e := &t.tables[ti][idx]
+		if e.u == 0 {
+			e.tag = uint16(tag)
+			e.valid = true
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			t.stats.Allocations++
+			return
+		}
+	}
+	for ti := provider + 1; ti < len(t.tables); ti++ {
+		idx, _ := t.index(ti, pc, hs)
+		e := &t.tables[ti][idx]
+		if e.u > 0 {
+			e.u--
+		}
+	}
+	t.stats.AllocFailures++
+}
+
+// ageUseful periodically halves all useful counters so stale providers can
+// be reclaimed (the paper's predictor uses periodic u reset; graceful
+// halving behaves equivalently at our simulation scales).
+func (t *Tage) ageUseful() {
+	for ti := range t.tables {
+		for i := range t.tables[ti] {
+			t.tables[ti][i].u >>= 1
+		}
+	}
+}
+
+func satUpdate(c int8, taken bool) int8 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}
+
+// FlushTagged clears the tagged tables (and SC/loop state) but not the
+// base predictor; HyBP's key change makes tagged state unreachable while
+// the physically isolated base is swapped separately.
+func (t *Tage) FlushTagged() {
+	for ti := range t.tables {
+		for i := range t.tables[ti] {
+			t.tables[ti][i] = tagEntry{}
+		}
+	}
+	if t.sc != nil {
+		t.sc.flush()
+	}
+	if t.loop != nil {
+		t.loop.flush()
+	}
+}
+
+// Flush clears all predictor state including the base.
+func (t *Tage) Flush() {
+	t.FlushTagged()
+	t.base.Flush()
+	t.useAltOnNA = 0
+}
+
+// StorageBits returns the predictor storage cost in bits, excluding the
+// swappable base (query the Bimodal separately when accounting for
+// replicated bases).
+func (t *Tage) StorageBits() int {
+	n := 0
+	for _, s := range t.cfg.Tables {
+		n += s.Entries * s.entryBits()
+	}
+	if t.sc != nil {
+		n += t.sc.storageBits()
+	}
+	if t.loop != nil {
+		n += t.loop.storageBits()
+	}
+	return n
+}
+
+// NumTables returns the number of tagged tables.
+func (t *Tage) NumTables() int { return len(t.tables) }
+
+// TableSpecs returns the tagged-table geometry.
+func (t *Tage) TableSpecs() []TableSpec { return t.cfg.Tables }

@@ -1,0 +1,162 @@
+package tage
+
+// Tournament is the "decades-old tournament predictor" of the paper's
+// Section VII-F comparison (Alpha 21264 style): a local-history component, a
+// global-history component, and a chooser trained toward whichever
+// component was right. It exists to reproduce the paper's claim that
+// TAGE-SC-L buys ≈5.4% IPC over it — the yardstick for why single-digit
+// protection overheads matter.
+type Tournament struct {
+	localHist []uint16 // per-PC local history
+	localPred []int8   // 3-bit counters indexed by local history
+	histBits  uint
+
+	globalPred []int8 // 2-bit counters indexed by GHR
+	chooser    []int8 // 2-bit: >=0 favours global
+
+	localMask  uint64
+	globalMask uint64
+}
+
+// TournamentConfig sizes the predictor.
+type TournamentConfig struct {
+	LocalEntries  int // local history table entries (power of two)
+	LocalHistBits uint
+	GlobalEntries int // global and chooser table entries (power of two)
+}
+
+// DefaultTournamentConfig approximates the 21264 sizing scaled to the
+// paper's 33 KB FPGA TAGE budget.
+func DefaultTournamentConfig() TournamentConfig {
+	return TournamentConfig{LocalEntries: 2048, LocalHistBits: 11, GlobalEntries: 8192}
+}
+
+// NewTournament builds a Tournament from cfg.
+func NewTournament(cfg TournamentConfig) *Tournament {
+	if cfg.LocalEntries&(cfg.LocalEntries-1) != 0 || cfg.GlobalEntries&(cfg.GlobalEntries-1) != 0 {
+		panic("tage: tournament table sizes must be powers of two")
+	}
+	return &Tournament{
+		localHist:  make([]uint16, cfg.LocalEntries),
+		localPred:  make([]int8, 1<<cfg.LocalHistBits),
+		histBits:   cfg.LocalHistBits,
+		globalPred: make([]int8, cfg.GlobalEntries),
+		chooser:    make([]int8, cfg.GlobalEntries),
+		localMask:  uint64(cfg.LocalEntries - 1),
+		globalMask: uint64(cfg.GlobalEntries - 1),
+	}
+}
+
+// TournamentHistory is the per-thread global history register.
+type TournamentHistory struct {
+	ghr uint64
+}
+
+// NewHistory allocates per-thread state.
+func (tp *Tournament) NewHistory() *TournamentHistory { return &TournamentHistory{} }
+
+func (tp *Tournament) localIndex(pc uint64) uint64 { return (pc >> 1) & tp.localMask }
+
+func (tp *Tournament) globalIndex(pc uint64, h *TournamentHistory) uint64 {
+	return (h.ghr ^ (pc >> 1)) & tp.globalMask
+}
+
+// Predict returns the chosen component's direction.
+func (tp *Tournament) Predict(pc uint64, h *TournamentHistory) bool {
+	lh := tp.localHist[tp.localIndex(pc)] & (1<<tp.histBits - 1)
+	localPred := tp.localPred[lh] >= 0
+	gi := tp.globalIndex(pc, h)
+	globalPred := tp.globalPred[gi] >= 0
+	if tp.chooser[gi] >= 0 {
+		return globalPred
+	}
+	return localPred
+}
+
+// Access predicts and then trains with the outcome, returning the
+// prediction (same single-pass contract as Tage.Access).
+func (tp *Tournament) Access(pc uint64, taken bool, h *TournamentHistory) bool {
+	li := tp.localIndex(pc)
+	lh := tp.localHist[li] & (1<<tp.histBits - 1)
+	localPred := tp.localPred[lh] >= 0
+	gi := tp.globalIndex(pc, h)
+	globalPred := tp.globalPred[gi] >= 0
+	useGlobal := tp.chooser[gi] >= 0
+
+	pred := localPred
+	if useGlobal {
+		pred = globalPred
+	}
+
+	// Chooser trains toward the component that was right (when they
+	// disagree).
+	if localPred != globalPred {
+		if globalPred == taken {
+			tp.chooser[gi] = sat2(tp.chooser[gi], true)
+		} else {
+			tp.chooser[gi] = sat2(tp.chooser[gi], false)
+		}
+	}
+	tp.localPred[lh] = sat3(tp.localPred[lh], taken)
+	tp.globalPred[gi] = sat2(tp.globalPred[gi], taken)
+
+	tp.localHist[li] = (tp.localHist[li] << 1) & (1<<tp.histBits - 1)
+	if taken {
+		tp.localHist[li] |= 1
+	}
+	h.ghr = h.ghr << 1
+	if taken {
+		h.ghr |= 1
+	}
+	return pred
+}
+
+// Flush clears all state.
+func (tp *Tournament) Flush() {
+	for i := range tp.localHist {
+		tp.localHist[i] = 0
+	}
+	for i := range tp.localPred {
+		tp.localPred[i] = 0
+	}
+	for i := range tp.globalPred {
+		tp.globalPred[i] = 0
+	}
+	for i := range tp.chooser {
+		tp.chooser[i] = 0
+	}
+}
+
+// StorageBits returns the storage cost in bits.
+func (tp *Tournament) StorageBits() int {
+	return len(tp.localHist)*int(tp.histBits) + len(tp.localPred)*3 +
+		len(tp.globalPred)*2 + len(tp.chooser)*2
+}
+
+// sat2 is a 2-bit saturating update over [-2, 1].
+func sat2(c int8, up bool) int8 {
+	if up {
+		if c < 1 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -2 {
+		return c - 1
+	}
+	return c
+}
+
+// sat3 is a 3-bit saturating update over [-4, 3].
+func sat3(c int8, up bool) int8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -4 {
+		return c - 1
+	}
+	return c
+}

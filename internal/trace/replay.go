@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"hybp/internal/keys"
+	"hybp/internal/secure"
+	"hybp/internal/workload"
+)
+
+// Replayer replays a recorded event slice as a workload.Source, so traces
+// drive the pipeline exactly like live generators. When Loop is set, the
+// stream restarts from the beginning on exhaustion (with PCs unchanged —
+// replaying the same program again); otherwise the replayer keeps
+// returning the final event's profile-shaped no-ops, which ends the
+// simulation naturally when the cycle budget runs out.
+type Replayer struct {
+	events []workload.Event
+	header Header
+	pos    int
+	loop   bool
+	prof   workload.Profile
+
+	// kernelCursor serves synthetic timer bursts: replayed streams carry
+	// their own syscall kernel events, but cycle-driven timer interrupts
+	// must still be synthesized.
+	kernelPC uint64
+}
+
+// NewReplayer wraps decoded events. name labels the synthetic profile.
+func NewReplayer(name string, h Header, events []workload.Event, loop bool) *Replayer {
+	cpi := float64(h.BaseCPIMilli) / 1000
+	if cpi <= 0 {
+		cpi = 1.0
+	}
+	be := int(h.BranchEvery)
+	if be <= 0 {
+		be = 6
+	}
+	return &Replayer{
+		events: events,
+		header: h,
+		loop:   loop,
+		prof: workload.Profile{
+			Name:        name,
+			BaseCPI:     cpi,
+			BranchEvery: be,
+		},
+		kernelPC: 0xFFFF_9000_0000,
+	}
+}
+
+// Next implements workload.Source.
+func (r *Replayer) Next() workload.Event {
+	if len(r.events) == 0 {
+		return workload.Event{Gap: 5, Priv: keys.User, Branch: secure.Branch{PC: 0x1000, Taken: false, Kind: secure.Cond}}
+	}
+	if r.pos >= len(r.events) {
+		if r.loop {
+			r.pos = 0
+		} else {
+			r.pos = len(r.events) - 1
+		}
+	}
+	ev := r.events[r.pos]
+	r.pos++
+	return ev
+}
+
+// TimerBurst implements workload.Source with a synthetic kernel handler
+// (biased-taken kernel branches).
+func (r *Replayer) TimerBurst(n int) []workload.Event {
+	var out []workload.Event
+	left := n
+	i := 0
+	for left > 0 {
+		gap := 5
+		pc := r.kernelPC + uint64(i%64)*64
+		out = append(out, workload.Event{
+			Gap:  gap,
+			Priv: keys.Kernel,
+			Branch: secure.Branch{
+				PC: pc, Target: pc + 0x40, Taken: true, Kind: secure.Jump,
+			},
+		})
+		left -= gap + 1
+		i++
+	}
+	return out
+}
+
+// Profile implements workload.Source.
+func (r *Replayer) Profile() workload.Profile { return r.prof }
+
+// Position returns the replay cursor (events consumed modulo looping).
+func (r *Replayer) Position() int { return r.pos }
+
+// Len returns the recorded event count.
+func (r *Replayer) Len() int { return len(r.events) }
+
+var _ workload.Source = (*Replayer)(nil)

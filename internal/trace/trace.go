@@ -1,0 +1,207 @@
+// Package trace records and replays branch event streams in a compact
+// binary format. Traces decouple workload generation from simulation: a
+// stream captured once (from the synthetic generators or converted from an
+// external tool) replays bit-identically through any defense mechanism,
+// which makes cross-mechanism comparisons exactly trace-equal and lets
+// users bring their own workloads.
+//
+// # Format
+//
+// A trace is the 8-byte magic "HYBPTRC1", a header (varint-encoded base
+// CPI in 1/1000ths, branch-every hint, and event count 0 when unknown),
+// then one record per event:
+//
+//	gap      uvarint  — non-branch instructions before this branch
+//	meta     byte     — kind (bits 0-2), taken (bit 3), kernel (bit 4)
+//	pcDelta  svarint  — PC as zigzag delta from the previous PC
+//	tgtDelta svarint  — target as zigzag delta from this PC
+//
+// Deltas keep typical records to a handful of bytes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hybp/internal/keys"
+	"hybp/internal/secure"
+	"hybp/internal/workload"
+)
+
+var magic = [8]byte{'H', 'Y', 'B', 'P', 'T', 'R', 'C', '1'}
+
+// Header carries the replay timing hints.
+type Header struct {
+	// BaseCPIMilli is the workload's base CPI in thousandths.
+	BaseCPIMilli uint64
+	// BranchEvery is the mean instructions per branch (hint only).
+	BranchEvery uint64
+	// Events is the event count, or zero when the stream length was not
+	// known at write time.
+	Events uint64
+}
+
+// Writer streams events to an underlying writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	count  uint64
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the magic and header, returning the event writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	tw := &Writer{w: bw}
+	for _, v := range []uint64{h.BaseCPIMilli, h.BranchEvery, h.Events} {
+		if err := tw.writeUvarint(v); err != nil {
+			return nil, err
+		}
+	}
+	return tw, nil
+}
+
+func (w *Writer) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+func (w *Writer) writeSvarint(v int64) error {
+	n := binary.PutVarint(w.buf[:], v)
+	_, err := w.w.Write(w.buf[:n])
+	return err
+}
+
+// WriteEvent appends one event.
+func (w *Writer) WriteEvent(ev workload.Event) error {
+	if err := w.writeUvarint(uint64(ev.Gap)); err != nil {
+		return err
+	}
+	meta := byte(ev.Branch.Kind) & 0x7
+	if ev.Branch.Taken {
+		meta |= 1 << 3
+	}
+	if ev.Priv == keys.Kernel {
+		meta |= 1 << 4
+	}
+	if err := w.w.WriteByte(meta); err != nil {
+		return err
+	}
+	if err := w.writeSvarint(int64(ev.Branch.PC - w.lastPC)); err != nil {
+		return err
+	}
+	if err := w.writeSvarint(int64(ev.Branch.Target - ev.Branch.PC)); err != nil {
+		return err
+	}
+	w.lastPC = ev.Branch.PC
+	w.count++
+	return nil
+}
+
+// Count returns the events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r      *bufio.Reader
+	h      Header
+	lastPC uint64
+}
+
+// NewReader validates the magic and header.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic (not a HYBPTRC1 stream)")
+	}
+	tr := &Reader{r: br}
+	for _, dst := range []*uint64{&tr.h.BaseCPIMilli, &tr.h.BranchEvery, &tr.h.Events} {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		*dst = v
+	}
+	return tr, nil
+}
+
+// Header returns the stream header.
+func (r *Reader) Header() Header { return r.h }
+
+// ReadEvent decodes the next event; it returns io.EOF at end of stream.
+func (r *Reader) ReadEvent() (workload.Event, error) {
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return workload.Event{}, io.EOF
+		}
+		return workload.Event{}, fmt.Errorf("trace: reading gap: %w", err)
+	}
+	meta, err := r.r.ReadByte()
+	if err != nil {
+		return workload.Event{}, fmt.Errorf("trace: reading meta: %w", err)
+	}
+	pcd, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return workload.Event{}, fmt.Errorf("trace: reading pc: %w", err)
+	}
+	tgtd, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return workload.Event{}, fmt.Errorf("trace: reading target: %w", err)
+	}
+	pc := r.lastPC + uint64(pcd)
+	r.lastPC = pc
+	ev := workload.Event{
+		Gap: int(gap),
+		Branch: secure.Branch{
+			PC:     pc,
+			Target: pc + uint64(tgtd),
+			Taken:  meta&(1<<3) != 0,
+			Kind:   secure.BranchKind(meta & 0x7),
+		},
+		Priv: keys.User,
+	}
+	if meta&(1<<4) != 0 {
+		ev.Priv = keys.Kernel
+	}
+	return ev, nil
+}
+
+// ReadAll decodes the remaining events.
+func (r *Reader) ReadAll() ([]workload.Event, error) {
+	var out []workload.Event
+	for {
+		ev, err := r.ReadEvent()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// Record captures n events from a source into w.
+func Record(w *Writer, src workload.Source, n int) error {
+	for i := 0; i < n; i++ {
+		if err := w.WriteEvent(src.Next()); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

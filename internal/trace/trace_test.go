@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"hybp/internal/keys"
+	"hybp/internal/pipeline"
+	"hybp/internal/secure"
+	"hybp/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	gen := workload.New(workload.Get("gcc"), 7)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{BaseCPIMilli: 600, BranchEvery: 5, Events: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]workload.Event, 5000)
+	for i := range want {
+		want[i] = gen.Next()
+		if err := w.WriteEvent(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Header(); h.BaseCPIMilli != 600 || h.BranchEvery != 5 || h.Events != 5000 {
+		t.Fatalf("header = %+v", h)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// Delta coding should keep typical events to a handful of bytes.
+	gen := workload.New(workload.Get("xz"), 3)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{})
+	const n = 20000
+	if err := Record(w, gen, n); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(buf.Len()) / n
+	if perEvent > 10 {
+		t.Fatalf("%.1f bytes/event; expected compact encoding", perEvent)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE...."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	gen := workload.New(workload.Get("gcc"), 1)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{})
+	for i := 0; i < 100; i++ {
+		w.WriteEvent(gen.Next())
+	}
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll()
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatal("truncated stream decoded without error")
+	}
+}
+
+func TestEOFSemantics(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{})
+	w.Flush()
+	r, _ := NewReader(&buf)
+	if _, err := r.ReadEvent(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	evs := []workload.Event{
+		{Gap: 3, Priv: keys.User, Branch: secure.Branch{PC: 0x10, Target: 0x20, Taken: true, Kind: secure.Jump}},
+		{Gap: 4, Priv: keys.User, Branch: secure.Branch{PC: 0x30, Target: 0x40, Taken: true, Kind: secure.Jump}},
+	}
+	r := NewReplayer("t", Header{BaseCPIMilli: 500}, evs, true)
+	for round := 0; round < 3; round++ {
+		for i := range evs {
+			if got := r.Next(); got != evs[i] {
+				t.Fatalf("round %d event %d = %+v", round, i, got)
+			}
+		}
+	}
+	// Non-looping replayer sticks to the last event.
+	r2 := NewReplayer("t", Header{}, evs, false)
+	r2.Next()
+	r2.Next()
+	if got := r2.Next(); got != evs[1] {
+		t.Fatalf("non-loop tail = %+v", got)
+	}
+}
+
+func TestReplayerProfileDefaults(t *testing.T) {
+	r := NewReplayer("x", Header{}, nil, false)
+	if r.Profile().BaseCPI != 1.0 || r.Profile().BranchEvery != 6 {
+		t.Fatalf("defaults = %+v", r.Profile())
+	}
+	r2 := NewReplayer("x", Header{BaseCPIMilli: 350, BranchEvery: 9}, nil, false)
+	if r2.Profile().BaseCPI != 0.35 || r2.Profile().BranchEvery != 9 {
+		t.Fatalf("parsed = %+v", r2.Profile())
+	}
+}
+
+func TestReplayerTimerBurst(t *testing.T) {
+	r := NewReplayer("x", Header{}, nil, false)
+	evs := r.TimerBurst(100)
+	if len(evs) == 0 {
+		t.Fatal("empty burst")
+	}
+	for _, ev := range evs {
+		if ev.Priv != keys.Kernel {
+			t.Fatal("burst not kernel-mode")
+		}
+	}
+}
+
+func TestReplayThroughPipelineMatchesLive(t *testing.T) {
+	// A recorded trace replayed through the same mechanism must produce
+	// identical prediction statistics to the live generator (the whole
+	// point of trace capture).
+	record := func() []workload.Event {
+		gen := workload.New(workload.Get("deepsjeng"), 11)
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf, Header{BaseCPIMilli: 600, BranchEvery: 5})
+		Record(w, gen, 150000)
+		r, _ := NewReader(&buf)
+		evs, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+	evs := record()
+
+	run := func(src workload.Source) pipeline.ThreadResult {
+		core := pipeline.DefaultCoreConfig()
+		core.TimerTickCycles = 0 // synthetic bursts differ between source kinds
+		sim := pipeline.New(pipeline.Config{
+			Core:      core,
+			BPU:       secure.NewHyBP(secure.Config{Threads: 1, Seed: 9}),
+			Threads:   []pipeline.ThreadSpec{{Source: src, Seed: 11}},
+			MaxCycles: 600_000,
+		})
+		return sim.Run().Threads[0]
+	}
+
+	prof := workload.Get("deepsjeng")
+	liveGen := workload.New(prof, 11)
+	live := run(liveGen)
+	replay := run(NewReplayer("deepsjeng", Header{BaseCPIMilli: uint64(prof.BaseCPI * 1000), BranchEvery: uint64(prof.BranchEvery)}, evs, false))
+
+	if live.DirMispred != replay.DirMispred || live.Branches != replay.Branches {
+		t.Fatalf("replay diverged: live=%+v replay=%+v", live, replay)
+	}
+}

@@ -1,0 +1,161 @@
+// Package workload synthesizes branch traces that stand in for the paper's
+// SPEC CPU2017 reference runs (which we cannot ship — see DESIGN.md §5).
+//
+// Each benchmark is a Profile: an ILP class (its base CPI), a branch
+// density, a static branch working set, a mix of branch behaviors (loops
+// with trip counts, biased branches, history-correlated patterns, inherently
+// hard branches, indirect branches), and a privilege profile (syscall rate
+// and kernel burst length). The parameters are calibrated so each
+// benchmark's branch MPKI class and table-capacity appetite match its
+// published character — which is what the evaluated mechanisms' costs
+// actually depend on: flushes hurt workloads with much warm state, partitions
+// hurt workloads whose working sets overflow a fraction of the tables, and
+// randomized key changes hurt exactly as much as a flush of one's own state.
+package workload
+
+import "hybp/internal/keys"
+
+// ILPClass buckets benchmarks the way the paper's Table V does.
+type ILPClass int
+
+// ILP classes.
+const (
+	HILP ILPClass = iota // high-ILP (cactuBSSN, imagick, wrf, namd, exchange2)
+	MILP                 // middle
+	LILP                 // low-ILP (bwaves, cam4, lbm, mcf, xalancbmk, xz)
+)
+
+// String implements fmt.Stringer.
+func (c ILPClass) String() string {
+	switch c {
+	case HILP:
+		return "H-ILP"
+	case LILP:
+		return "L-ILP"
+	default:
+		return "MIX"
+	}
+}
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Class ILPClass
+
+	// BaseCPI is the per-instruction cycle cost absent branch penalties.
+	BaseCPI float64
+	// BranchEvery is the mean number of instructions per branch
+	// (≈5 for int codes, ≈10-25 for FP codes).
+	BranchEvery int
+
+	// StaticBranches is the branch working set size; it drives BTB and
+	// tagged-table capacity pressure (fotonik3d and xz are given large
+	// sets to reproduce their partition sensitivity, §VII-B).
+	StaticBranches int
+	// RegionSize branches execute together in loop bodies; regions give
+	// the trace realistic locality.
+	RegionSize int
+	// LoopTripMean is the mean loop trip count of region loops.
+	LoopTripMean int
+
+	// Behavior mix over non-loop static branches (fractions, ≤1 summed;
+	// remainder is strongly biased branches).
+	PatternFrac  float64 // history-correlated periodic branches
+	HardFrac     float64 // inherently unpredictable branches
+	HardBias     float64 // taken probability of hard branches
+	IndirectFrac float64 // indirect branches with multi-way targets
+
+	// SyscallEvery is the mean instructions between syscalls (0 = none);
+	// KernelBurst is the instructions spent in the kernel per entry.
+	SyscallEvery int
+	KernelBurst  int
+
+	// CallFrac is the fraction of region entries invoked through a call
+	// (exercising the return address stack); zero selects the default
+	// (0.6, typical of integer codes — FP inner loops call less).
+	CallFrac float64
+}
+
+// Profiles returns the benchmark table. Classes follow the paper's listing;
+// CPI/MPKI character follows each benchmark's published behavior.
+func Profiles() map[string]Profile {
+	ps := []Profile{
+		// --- High-ILP (paper's H-ILP list) ---
+		{Name: "cactuBSSN", Class: HILP, BaseCPI: 0.35, BranchEvery: 22, StaticBranches: 700, RegionSize: 10, LoopTripMean: 40, PatternFrac: 0.15, HardFrac: 0.02, HardBias: 0.6, IndirectFrac: 0.01, SyscallEvery: 3_000_000, KernelBurst: 600},
+		{Name: "imagick", Class: HILP, BaseCPI: 0.33, BranchEvery: 9, StaticBranches: 900, RegionSize: 12, LoopTripMean: 30, PatternFrac: 0.2, HardFrac: 0.03, HardBias: 0.65, IndirectFrac: 0.01, SyscallEvery: 4_000_000, KernelBurst: 600},
+		{Name: "wrf", Class: HILP, BaseCPI: 0.38, BranchEvery: 16, StaticBranches: 1600, RegionSize: 10, LoopTripMean: 25, PatternFrac: 0.18, HardFrac: 0.03, HardBias: 0.6, IndirectFrac: 0.01, SyscallEvery: 2_500_000, KernelBurst: 800},
+		{Name: "namd", Class: HILP, BaseCPI: 0.34, BranchEvery: 18, StaticBranches: 500, RegionSize: 8, LoopTripMean: 35, PatternFrac: 0.12, HardFrac: 0.02, HardBias: 0.6, IndirectFrac: 0.005, SyscallEvery: 5_000_000, KernelBurst: 500},
+		{Name: "exchange2", Class: HILP, BaseCPI: 0.32, BranchEvery: 5, StaticBranches: 1200, RegionSize: 14, LoopTripMean: 12, PatternFrac: 0.3, HardFrac: 0.05, HardBias: 0.6, IndirectFrac: 0.01, SyscallEvery: 6_000_000, KernelBurst: 400},
+		{Name: "fotonik3d", Class: HILP, BaseCPI: 0.45, BranchEvery: 14, StaticBranches: 6000, RegionSize: 16, LoopTripMean: 18, PatternFrac: 0.25, HardFrac: 0.04, HardBias: 0.62, IndirectFrac: 0.02, SyscallEvery: 2_000_000, KernelBurst: 700},
+
+		// --- Low-ILP (paper's L-ILP list) ---
+		{Name: "bwaves", Class: LILP, BaseCPI: 1.4, BranchEvery: 20, StaticBranches: 400, RegionSize: 8, LoopTripMean: 50, PatternFrac: 0.1, HardFrac: 0.02, HardBias: 0.6, IndirectFrac: 0.005, SyscallEvery: 2_000_000, KernelBurst: 800},
+		{Name: "cam4", Class: LILP, BaseCPI: 1.1, BranchEvery: 12, StaticBranches: 2500, RegionSize: 12, LoopTripMean: 20, PatternFrac: 0.2, HardFrac: 0.05, HardBias: 0.6, IndirectFrac: 0.015, SyscallEvery: 1_500_000, KernelBurst: 900},
+		{Name: "lbm", Class: LILP, BaseCPI: 1.6, BranchEvery: 25, StaticBranches: 200, RegionSize: 6, LoopTripMean: 60, PatternFrac: 0.08, HardFrac: 0.01, HardBias: 0.6, IndirectFrac: 0.002, SyscallEvery: 2_500_000, KernelBurst: 700},
+		{Name: "mcf", Class: LILP, BaseCPI: 1.9, BranchEvery: 6, StaticBranches: 1400, RegionSize: 10, LoopTripMean: 8, PatternFrac: 0.2, HardFrac: 0.16, HardBias: 0.55, IndirectFrac: 0.01, SyscallEvery: 1_200_000, KernelBurst: 900},
+		{Name: "xalancbmk", Class: LILP, BaseCPI: 1.0, BranchEvery: 5, StaticBranches: 3000, RegionSize: 14, LoopTripMean: 10, PatternFrac: 0.25, HardFrac: 0.06, HardBias: 0.6, IndirectFrac: 0.05, SyscallEvery: 900_000, KernelBurst: 1000},
+		{Name: "xz", Class: LILP, BaseCPI: 0.9, BranchEvery: 6, StaticBranches: 5000, RegionSize: 16, LoopTripMean: 9, PatternFrac: 0.2, HardFrac: 0.12, HardBias: 0.55, IndirectFrac: 0.02, SyscallEvery: 1_000_000, KernelBurst: 900},
+		{Name: "roms", Class: LILP, BaseCPI: 1.0, BranchEvery: 15, StaticBranches: 800, RegionSize: 10, LoopTripMean: 30, PatternFrac: 0.12, HardFrac: 0.02, HardBias: 0.6, IndirectFrac: 0.005, SyscallEvery: 2_000_000, KernelBurst: 700},
+
+		// --- Integer benchmarks for the per-application figures ---
+		{Name: "perlbench", Class: MILP, BaseCPI: 0.55, BranchEvery: 5, StaticBranches: 2600, RegionSize: 12, LoopTripMean: 10, PatternFrac: 0.3, HardFrac: 0.05, HardBias: 0.6, IndirectFrac: 0.06, SyscallEvery: 700_000, KernelBurst: 1100},
+		{Name: "gcc", Class: MILP, BaseCPI: 0.6, BranchEvery: 5, StaticBranches: 4200, RegionSize: 14, LoopTripMean: 8, PatternFrac: 0.3, HardFrac: 0.07, HardBias: 0.58, IndirectFrac: 0.05, SyscallEvery: 600_000, KernelBurst: 1200},
+		{Name: "omnetpp", Class: MILP, BaseCPI: 0.9, BranchEvery: 6, StaticBranches: 2200, RegionSize: 10, LoopTripMean: 9, PatternFrac: 0.25, HardFrac: 0.07, HardBias: 0.6, IndirectFrac: 0.06, SyscallEvery: 800_000, KernelBurst: 1000},
+		{Name: "x264", Class: HILP, BaseCPI: 0.4, BranchEvery: 8, StaticBranches: 1100, RegionSize: 12, LoopTripMean: 20, PatternFrac: 0.25, HardFrac: 0.04, HardBias: 0.62, IndirectFrac: 0.02, SyscallEvery: 1_500_000, KernelBurst: 800},
+		{Name: "deepsjeng", Class: MILP, BaseCPI: 0.6, BranchEvery: 5, StaticBranches: 3400, RegionSize: 12, LoopTripMean: 6, PatternFrac: 0.35, HardFrac: 0.1, HardBias: 0.55, IndirectFrac: 0.02, SyscallEvery: 1_500_000, KernelBurst: 800},
+		{Name: "leela", Class: MILP, BaseCPI: 0.7, BranchEvery: 5, StaticBranches: 1800, RegionSize: 10, LoopTripMean: 7, PatternFrac: 0.25, HardFrac: 0.13, HardBias: 0.55, IndirectFrac: 0.01, SyscallEvery: 2_000_000, KernelBurst: 700},
+	}
+	m := make(map[string]Profile, len(ps))
+	for _, p := range ps {
+		m[p.Name] = p
+	}
+	return m
+}
+
+// Get returns a named profile; it panics on unknown names so experiment
+// definitions fail loudly.
+func Get(name string) Profile {
+	p, ok := Profiles()[name]
+	if !ok {
+		panic("workload: unknown benchmark " + name)
+	}
+	return p
+}
+
+// Mix is one of the paper's Table V SMT pairings.
+type Mix struct {
+	Name  string
+	Class ILPClass
+	A, B  string
+}
+
+// Mixes returns the twelve SMT-2 combinations of Table V.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "mix1", Class: HILP, A: "cactuBSSN", B: "imagick"},
+		{Name: "mix2", Class: HILP, A: "wrf", B: "namd"},
+		{Name: "mix3", Class: HILP, A: "fotonik3d", B: "exchange2"},
+		{Name: "mix4", Class: HILP, A: "wrf", B: "cactuBSSN"},
+		{Name: "mix5", Class: MILP, A: "imagick", B: "xz"},
+		{Name: "mix6", Class: MILP, A: "imagick", B: "bwaves"},
+		{Name: "mix7", Class: MILP, A: "wrf", B: "mcf"},
+		{Name: "mix8", Class: MILP, A: "namd", B: "roms"},
+		{Name: "mix9", Class: LILP, A: "xz", B: "cam4"},
+		{Name: "mix10", Class: LILP, A: "cam4", B: "xalancbmk"},
+		{Name: "mix11", Class: LILP, A: "lbm", B: "bwaves"},
+		{Name: "mix12", Class: LILP, A: "cam4", B: "bwaves"},
+	}
+}
+
+// FigureApps returns the per-application set used by the Figure 2 and
+// Figure 5 style plots.
+func FigureApps() []string {
+	return []string{
+		"perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264",
+		"deepsjeng", "leela", "exchange2", "xz", "fotonik3d", "imagick",
+	}
+}
+
+// KernelPrivilege is re-exported so callers need not import keys for the
+// common case.
+const KernelPrivilege = keys.Kernel

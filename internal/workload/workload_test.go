@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"testing"
+
+	"hybp/internal/keys"
+	"hybp/internal/secure"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	// Every benchmark named in the mixes and figure apps must exist.
+	for _, m := range Mixes() {
+		if _, ok := ps[m.A]; !ok {
+			t.Errorf("%s references unknown benchmark %s", m.Name, m.A)
+		}
+		if _, ok := ps[m.B]; !ok {
+			t.Errorf("%s references unknown benchmark %s", m.Name, m.B)
+		}
+	}
+	for _, a := range FigureApps() {
+		if _, ok := ps[a]; !ok {
+			t.Errorf("figure app %s unknown", a)
+		}
+	}
+}
+
+func TestMixesMatchTableV(t *testing.T) {
+	mixes := Mixes()
+	if len(mixes) != 12 {
+		t.Fatalf("mixes = %d, want 12", len(mixes))
+	}
+	// Spot-check the table: mix3 = fotonik3d+exchange2 (H-ILP),
+	// mix7 = wrf+mcf (MIX), mix11 = lbm+bwaves (L-ILP).
+	if m := mixes[2]; m.A != "fotonik3d" || m.B != "exchange2" || m.Class != HILP {
+		t.Errorf("mix3 = %+v", m)
+	}
+	if m := mixes[6]; m.A != "wrf" || m.B != "mcf" || m.Class != MILP {
+		t.Errorf("mix7 = %+v", m)
+	}
+	if m := mixes[10]; m.A != "lbm" || m.B != "bwaves" || m.Class != LILP {
+		t.Errorf("mix11 = %+v", m)
+	}
+}
+
+func TestGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(unknown) did not panic")
+		}
+	}()
+	Get("notabenchmark")
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := New(Get("gcc"), 5)
+	b := New(Get("gcc"), 5)
+	for i := 0; i < 5000; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea != eb {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, ea, eb)
+		}
+	}
+	c := New(Get("gcc"), 6)
+	diff := false
+	a2 := New(Get("gcc"), 5)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() != c.Next() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestBranchDensity(t *testing.T) {
+	for _, name := range []string{"mcf", "lbm", "exchange2"} {
+		p := Get(name)
+		g := New(p, 1)
+		for i := 0; i < 20000; i++ {
+			g.Next()
+		}
+		perBranch := float64(g.Instructions()) / float64(g.Branches())
+		want := float64(p.BranchEvery)
+		if perBranch < want*0.7 || perBranch > want*1.3 {
+			t.Errorf("%s: %.1f instructions/branch, want ≈%.0f", name, perBranch, want)
+		}
+	}
+}
+
+func TestSyscallKernelBursts(t *testing.T) {
+	p := Get("xalancbmk") // syscall every ≈900K instructions
+	p.SyscallEvery = 5000 // accelerate for the test
+	p.KernelBurst = 300
+	g := New(p, 3)
+	kernelInstr, userInstr := 0, 0
+	for i := 0; i < 60000; i++ {
+		ev := g.Next()
+		if ev.Priv == keys.Kernel {
+			kernelInstr += ev.Gap + 1
+		} else {
+			userInstr += ev.Gap + 1
+		}
+	}
+	if kernelInstr == 0 {
+		t.Fatal("no kernel-mode execution generated")
+	}
+	frac := float64(kernelInstr) / float64(kernelInstr+userInstr)
+	want := float64(p.KernelBurst) / float64(p.SyscallEvery+p.KernelBurst)
+	if frac < want/2 || frac > want*2 {
+		t.Errorf("kernel fraction = %.4f, want ≈%.4f", frac, want)
+	}
+}
+
+func TestNoSyscallsWhenDisabled(t *testing.T) {
+	p := Get("gcc")
+	p.SyscallEvery = 0
+	g := New(p, 1)
+	for i := 0; i < 20000; i++ {
+		if ev := g.Next(); ev.Priv == keys.Kernel {
+			t.Fatal("kernel event with syscalls disabled")
+		}
+	}
+}
+
+func TestTimerBurst(t *testing.T) {
+	g := New(Get("namd"), 9)
+	evs := g.TimerBurst(500)
+	if len(evs) == 0 {
+		t.Fatal("empty timer burst")
+	}
+	total := 0
+	for _, ev := range evs {
+		if ev.Priv != keys.Kernel {
+			t.Fatal("timer burst produced user-mode event")
+		}
+		total += ev.Gap + 1
+	}
+	if total < 500 || total > 500+100 {
+		t.Errorf("burst covered %d instructions, want ≈500", total)
+	}
+}
+
+func TestTraceIsPredictable(t *testing.T) {
+	// A real benchmark trace must be largely predictable by a trained
+	// predictor: feed the stream to the baseline BPU and check the
+	// direction accuracy lands in a plausible SPEC range for the profile
+	// class (≈90-99.5%).
+	for _, tc := range []struct {
+		name     string
+		min, max float64
+	}{
+		{"namd", 0.95, 0.9999},
+		{"mcf", 0.80, 0.97},
+		{"deepsjeng", 0.85, 0.99},
+	} {
+		bp := secure.NewBaseline(secure.Config{Threads: 1, Seed: 2})
+		ctx := secure.Context{Thread: 0, Priv: keys.User, ASID: 1}
+		g := New(Get(tc.name), 4)
+		correct, conds := 0, 0
+		const n = 60000
+		for i := 0; i < n; i++ {
+			ev := g.Next()
+			ctx.Priv = ev.Priv
+			res := bp.Access(ctx, ev.Branch, uint64(i))
+			if i > n/3 && ev.Branch.Kind == secure.Cond {
+				conds++
+				if res.DirCorrect {
+					correct++
+				}
+			}
+		}
+		acc := float64(correct) / float64(conds)
+		if acc < tc.min || acc > tc.max {
+			t.Errorf("%s: direction accuracy %.4f outside [%.2f, %.4f]", tc.name, acc, tc.min, tc.max)
+		}
+	}
+}
+
+func TestWorkingSetOrdering(t *testing.T) {
+	// fotonik3d and xz must exert more BTB capacity pressure than namd:
+	// distinct branch PCs seen in a window.
+	count := func(name string) int {
+		g := New(Get(name), 1)
+		seen := make(map[uint64]bool)
+		for i := 0; i < 300000; i++ {
+			ev := g.Next()
+			if ev.Priv == keys.User {
+				seen[ev.Branch.PC] = true
+			}
+		}
+		return len(seen)
+	}
+	namd, foto, xz := count("namd"), count("fotonik3d"), count("xz")
+	if foto <= namd*2 || xz <= namd*2 {
+		t.Errorf("working sets: namd=%d fotonik3d=%d xz=%d; partition-sensitive apps must be much larger", namd, foto, xz)
+	}
+}
+
+func TestILPClassString(t *testing.T) {
+	if HILP.String() != "H-ILP" || LILP.String() != "L-ILP" || MILP.String() != "MIX" {
+		t.Fatal("ILPClass.String broken")
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := New(Get("gcc"), 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func TestCallReturnFramesBalanced(t *testing.T) {
+	// Every Return's target must equal the return address of the
+	// matching Call (LIFO), validated with a shadow stack.
+	g := New(Get("gcc"), 21)
+	var shadow []uint64
+	calls, rets := 0, 0
+	for i := 0; i < 120000; i++ {
+		ev := g.Next()
+		switch ev.Branch.Kind {
+		case secure.Call:
+			calls++
+			shadow = append(shadow, ev.Branch.PC+4)
+		case secure.Return:
+			rets++
+			if len(shadow) == 0 {
+				t.Fatal("return with no open frame")
+			}
+			want := shadow[len(shadow)-1]
+			shadow = shadow[:len(shadow)-1]
+			if ev.Branch.Target != want {
+				t.Fatalf("return target %#x, want %#x", ev.Branch.Target, want)
+			}
+		}
+	}
+	if calls == 0 || rets == 0 {
+		t.Fatalf("no call/return traffic: calls=%d rets=%d", calls, rets)
+	}
+	if d := calls - rets; d < 0 || d > 8 {
+		t.Fatalf("frames unbalanced: calls=%d rets=%d", calls, rets)
+	}
+}
+
+func TestCallFracZeroDefault(t *testing.T) {
+	p := Get("namd")
+	p.CallFrac = 0 // default applies
+	g := New(p, 3)
+	calls := 0
+	for i := 0; i < 50000; i++ {
+		if g.Next().Branch.Kind == secure.Call {
+			calls++
+		}
+	}
+	if calls == 0 {
+		t.Fatal("default call fraction produced no calls")
+	}
+}
