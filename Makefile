@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench record
+
+# ci is the full gate: static checks, build, the whole test suite, and a
+# race-detector pass over the concurrent packages (the harness worker pool
+# and the experiments that drive it).
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the race detector where concurrency lives. The sim package is
+# raced with -short: its harness-integration tests (runner_test.go) always
+# run and exercise the worker pool; the slow single-threaded shape tests
+# add nothing under the detector.
+race:
+	$(GO) test -race ./internal/harness/...
+	$(GO) test -race -short ./internal/sim/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run NONE .
+
+# record regenerates the EXPERIMENTS.md reference run.
+record:
+	$(GO) run ./cmd/hybpexp -scale medium -nbench 4 -nmix 4 \
+	    -cycles 36000000 -warmup 4000000 \
+	    -intervals "256000,4000000,16000000" all > experiments_record.txt

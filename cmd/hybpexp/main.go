@@ -2,23 +2,44 @@
 // maps each to its experiment). Output is the same rows/series the paper
 // reports; EXPERIMENTS.md records a reference run.
 //
+// Experiments execute on the internal/harness job runner: every simulation
+// point is a content-addressed job, scheduled across -j workers,
+// deduplicated across experiments (a baseline shared by Table I and
+// Figure 6 is simulated once), and — with -cachedir — memoized on disk so
+// an interrupted or repeated run resumes instead of recomputing. Results
+// are bit-identical for any -j value.
+//
 // Usage:
 //
 //	hybpexp [-scale quick|medium|full] [-nbench N] [-nmix N] [-intervals list] \
-//	        table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|cost|all
+//	        [-j N] [-cachedir DIR] [-progress] [-json] \
+//	        table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|brb|seeds|cost|all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"hybp/internal/harness"
 	"hybp/internal/sim"
 	"hybp/internal/workload"
 )
+
+const usage = "usage: hybpexp [flags] table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|brb|seeds|cost|all"
+
+// allExperiments is what `all` expands to — every dispatchable experiment,
+// including the `brb` comparison and the `seeds` noise-floor sweep.
+var allExperiments = []string{
+	"table1", "table3", "table6", "fig2", "fig5", "fig6", "fig7", "fig8",
+	"tournament", "brb", "seeds", "cost",
+}
 
 func main() {
 	var (
@@ -29,6 +50,10 @@ func main() {
 		intervals = flag.String("intervals", "", "comma-separated context-switch intervals in cycles (overrides the scale's sweep)")
 		cycles    = flag.Uint64("cycles", 0, "override the scale's per-point cycle budget")
 		warmup    = flag.Uint64("warmup", 0, "override the scale's warmup cycles")
+		jobs      = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		cacheDir  = flag.String("cachedir", "", "on-disk result cache directory (dedupes across runs; makes interrupted runs resumable)")
+		progress  = flag.Bool("progress", true, "report job progress (done/total, cache hits, ETA) to stderr")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
 	)
 	flag.Parse()
 
@@ -52,6 +77,10 @@ func main() {
 		sc.WarmupCycles = *warmup
 	}
 	if *intervals != "" {
+		if strings.TrimSpace(*intervals) == "" {
+			fmt.Fprintln(os.Stderr, "-intervals is blank: pass a comma-separated list of cycle counts, e.g. -intervals 256000,16000000")
+			os.Exit(2)
+		}
 		sc.Intervals = nil
 		for _, f := range strings.Split(*intervals, ",") {
 			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
@@ -60,6 +89,10 @@ func main() {
 				os.Exit(2)
 			}
 			sc.Intervals = append(sc.Intervals, v)
+		}
+		if len(sc.Intervals) == 0 {
+			fmt.Fprintln(os.Stderr, "-intervals parsed to an empty sweep")
+			os.Exit(2)
 		}
 		sc.DefaultInterval = sc.Intervals[len(sc.Intervals)-1]
 	}
@@ -74,52 +107,83 @@ func main() {
 	}
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: hybpexp [flags] table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|cost|all")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 
+	var progw io.Writer
+	if *progress {
+		progw = os.Stderr
+	}
+	h, err := harness.New(harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harness: %v\n", err)
+		os.Exit(2)
+	}
+	r := sim.NewRunner(h)
+	defer r.Close()
+
+	enc := json.NewEncoder(os.Stdout)
+
 	run := func(name string) {
 		start := time.Now()
-		fmt.Printf("=== %s (scale %s, %d apps, %d mixes) ===\n", name, *scaleName, len(benches), len(mixes))
+		if !*jsonOut {
+			fmt.Printf("=== %s (scale %s, %d apps, %d mixes, -j %d) ===\n", name, *scaleName, len(benches), len(mixes), *jobs)
+		}
+		var res printer
 		switch name {
 		case "table1":
-			sim.Table1(sc, benches, mixes).Print(os.Stdout)
+			res = r.Table1(sc, benches, mixes)
 		case "table3":
-			sim.Table3(sim.Table3Config{Iterations: 200, Seed: sc.Seed}).Print(os.Stdout)
+			res = sim.Table3(sim.Table3Config{Iterations: 200, Seed: sc.Seed})
 		case "table6":
-			sim.Table6(sc, cap4(benches), nil).Print(os.Stdout)
+			res = r.Table6(sc, cap4(benches), nil)
 		case "fig2":
-			sim.Fig2(sc, benches).Print(os.Stdout)
+			res = r.Fig2(sc, benches)
 		case "fig5":
-			sim.Fig5(sc, benches).Print(os.Stdout)
+			res = r.Fig5(sc, benches)
 		case "fig6":
-			sim.Fig6(sc, benches).Print(os.Stdout)
+			res = r.Fig6(sc, benches)
 		case "fig7":
-			sim.Fig7(sc, mixes).Print(os.Stdout)
+			res = r.Fig7(sc, mixes)
 		case "fig8":
 			m8 := mixes
 			if len(m8) > 3 {
 				m8 = m8[:3]
 			}
-			sim.Fig8(sc, m8, []float64{0, 0.5, 1.0, 2.4, 3.0}).Print(os.Stdout)
+			res = r.Fig8(sc, m8, []float64{0, 0.5, 1.0, 2.4, 3.0})
 		case "tournament":
-			sim.Tournament(sc, benches).Print(os.Stdout)
+			res = r.Tournament(sc, benches)
 		case "brb":
-			sim.BRBComparison(sc, cap4(benches)).Print(os.Stdout)
+			res = r.BRBComparison(sc, cap4(benches))
 		case "seeds":
-			sim.PrintMultiSeed(os.Stdout, sc, benches[0], 5)
+			res = r.MultiSeed(sc, benches[0], 5)
 		case "cost":
-			sim.PrintCost(os.Stdout, sim.HardwareCost(sc.Seed))
+			res = costResult{sim.HardwareCost(sc.Seed)}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n%s\n", name, usage)
 			os.Exit(2)
 		}
+		if *jsonOut {
+			if err := enc.Encode(jsonRecord{
+				Experiment: name,
+				Scale:      *scaleName,
+				Seed:       sc.Seed,
+				Seconds:    time.Since(start).Seconds(),
+				Result:     res,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		res.Print(os.Stdout)
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	for _, name := range flag.Args() {
 		if name == "all" {
-			for _, n := range []string{"table1", "table3", "table6", "fig2", "fig5", "fig6", "fig7", "fig8", "tournament", "brb", "cost"} {
+			for _, n := range allExperiments {
 				run(n)
 			}
 			continue
@@ -127,6 +191,26 @@ func main() {
 		run(name)
 	}
 }
+
+// printer is what every experiment result knows how to do.
+type printer interface{ Print(w io.Writer) }
+
+// jsonRecord is one -json output line (JSON-lines framing: one experiment
+// per line, so a partial run is still parseable).
+type jsonRecord struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	Seed       uint64  `json:"seed"`
+	Seconds    float64 `json:"seconds"`
+	Result     any     `json:"result"`
+}
+
+// costResult adapts the hardware-cost report to the printer interface.
+type costResult struct {
+	sim.CostResult
+}
+
+func (c costResult) Print(w io.Writer) { sim.PrintCost(w, c.CostResult) }
 
 // cap4 limits a benchmark list to four entries (the sweep experiments
 // whose cost is quadratic in scope).

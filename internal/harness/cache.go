@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// diskCache is the on-disk layer of the result cache: one JSON file per
+// job key. Writes are atomic (temp file + rename), so a run killed
+// mid-write leaves no partial entries and the next run resumes from every
+// completed point. Unreadable or undecodable entries are treated as
+// misses and recomputed, then overwritten.
+type diskCache struct {
+	dir string
+}
+
+func newDiskCache(dir string) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &diskCache{dir: dir}, nil
+}
+
+// path maps a job key to its cache file, sanitizing anything a filesystem
+// might dislike. The embedded content hash keeps sanitized names unique.
+func (c *diskCache) path(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	return filepath.Join(c.dir, clean+".json")
+}
+
+// get loads the cached result for key into out, reporting whether a valid
+// entry existed.
+func (c *diskCache) get(key string, out any) bool {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(b, out) == nil
+}
+
+// put stores v under key. Cache write failures are deliberately swallowed:
+// the in-memory result is already resolved, and a read-only or full cache
+// directory should degrade to recomputation, not abort the run.
+func (c *diskCache) put(key string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	p := c.path(key)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, p)
+}

@@ -1,0 +1,193 @@
+// Package harness is the experiment orchestration subsystem: it turns each
+// simulation point into a declarative job — a pure function of a canonical,
+// JSON-serializable config — and schedules jobs across a bounded worker
+// pool. Jobs are deduplicated and memoized in a content-addressed cache
+// (key = FNV-1a of the canonical config), with an optional on-disk JSON
+// layer so interrupted runs resume where they left off.
+//
+// Determinism is a hard requirement: a job's result must depend only on
+// its config — seeds are derived from the root seed and canonical job
+// identity (DeriveSeed offers splitmix64 derivation from the full job
+// key; internal/sim derives stream seeds from the mechanism-independent
+// part so compared jobs replay identical workloads), never on worker
+// count or scheduling order. A -j 1 run and a -j N run are bit-identical.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers bounds concurrent job execution; <= 0 means runtime.NumCPU().
+	Workers int
+	// CacheDir enables the on-disk result cache when non-empty. Completed
+	// jobs are written as JSON files keyed by content address, so a rerun
+	// (same configs) skips them — including across process restarts.
+	CacheDir string
+	// Progress, when non-nil, receives a periodically refreshed one-line
+	// job counter (done/total, cache hits, ETA). Use os.Stderr in CLIs.
+	Progress io.Writer
+	// ProgressInterval overrides the reporter refresh period (default 500ms).
+	ProgressInterval time.Duration
+}
+
+// Stats is a snapshot of a Runner's counters.
+type Stats struct {
+	// Submitted counts Submit calls; Deduped counts the subset that were
+	// coalesced onto an already-known job key.
+	Submitted, Deduped uint64
+	// Executed counts jobs computed by running their function; DiskHits
+	// counts jobs satisfied from the on-disk cache instead.
+	Executed, DiskHits uint64
+	// Completed counts resolved jobs (executed or disk-hit).
+	Completed uint64
+}
+
+// Unique is the number of distinct job keys accepted.
+func (s Stats) Unique() uint64 { return s.Submitted - s.Deduped }
+
+// String formats the snapshot for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d jobs (%d submits, %d deduped), %d executed, %d disk hits",
+		s.Unique(), s.Submitted, s.Deduped, s.Executed, s.DiskHits)
+}
+
+// Runner schedules deduplicated jobs across a bounded worker pool.
+type Runner struct {
+	sem  chan struct{}
+	disk *diskCache
+	rep  *reporter
+
+	mu      sync.Mutex
+	futures map[string]*future
+	wg      sync.WaitGroup
+
+	submitted, deduped, executed, diskHits, completed atomic.Uint64
+}
+
+// New builds a Runner. The only error source is an unusable CacheDir.
+func New(opts Options) (*Runner, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	r := &Runner{
+		sem:     make(chan struct{}, workers),
+		futures: make(map[string]*future),
+	}
+	if opts.CacheDir != "" {
+		d, err := newDiskCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		r.disk = d
+	}
+	if opts.Progress != nil {
+		r.rep = newReporter(opts.Progress, r, opts.ProgressInterval)
+	}
+	return r, nil
+}
+
+// MustNew is New for configurations that cannot fail (no cache dir).
+func MustNew(opts Options) *Runner {
+	r, err := New(opts)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	return r
+}
+
+// Stats snapshots the counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Submitted: r.submitted.Load(),
+		Deduped:   r.deduped.Load(),
+		Executed:  r.executed.Load(),
+		DiskHits:  r.diskHits.Load(),
+		Completed: r.completed.Load(),
+	}
+}
+
+// Wait blocks until every submitted job has resolved.
+func (r *Runner) Wait() { r.wg.Wait() }
+
+// Close waits for outstanding jobs and stops the progress reporter,
+// emitting its final summary line. The Runner remains usable for further
+// submissions (only the reporter is gone).
+func (r *Runner) Close() {
+	r.wg.Wait()
+	if r.rep != nil {
+		r.rep.close()
+		r.rep = nil
+	}
+}
+
+// future is the shared, untyped resolution slot for one job key.
+type future struct {
+	done chan struct{}
+	val  any
+}
+
+// Future is a typed handle on a scheduled job's result.
+type Future[T any] struct{ f *future }
+
+// Get blocks until the job resolves and returns its result.
+func (f Future[T]) Get() T {
+	<-f.f.done
+	v, _ := f.f.val.(T)
+	return v
+}
+
+// Submit schedules fn under the given content-addressed key and returns a
+// Future for its result. A key already known to the Runner — in flight or
+// completed — is never recomputed: the existing future is returned. fn must
+// be a pure function of the config the key was derived from, and T must
+// survive a JSON round trip when the on-disk cache is enabled.
+//
+// Submit never blocks on pool capacity; excess jobs queue on the semaphore.
+// The intended pattern is two-phase: submit every job of an experiment
+// first, then Get them in deterministic (enumeration) order.
+func Submit[T any](r *Runner, key string, fn func() T) Future[T] {
+	r.submitted.Add(1)
+	r.mu.Lock()
+	if f, ok := r.futures[key]; ok {
+		r.mu.Unlock()
+		r.deduped.Add(1)
+		return Future[T]{f}
+	}
+	f := &future{done: make(chan struct{})}
+	r.futures[key] = f
+	r.mu.Unlock()
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		defer func() {
+			r.completed.Add(1)
+			close(f.done)
+		}()
+		if r.disk != nil {
+			var v T
+			if r.disk.get(key, &v) {
+				r.diskHits.Add(1)
+				f.val = v
+				return
+			}
+		}
+		v := fn()
+		r.executed.Add(1)
+		f.val = v
+		if r.disk != nil {
+			r.disk.put(key, v)
+		}
+	}()
+	return Future[T]{f}
+}

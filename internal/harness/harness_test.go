@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type fakeResult struct {
+	Seed  uint64
+	Value float64
+}
+
+func TestKeyCanonicalAndDistinct(t *testing.T) {
+	type cfg struct {
+		Bench    string
+		Interval uint64
+		Seed     uint64
+	}
+	a := Key("single-gcc", cfg{"gcc", 1000, 7})
+	b := Key("single-gcc", cfg{"gcc", 1000, 7})
+	if a != b {
+		t.Fatalf("identical configs keyed differently: %q vs %q", a, b)
+	}
+	if c := Key("single-gcc", cfg{"gcc", 1000, 8}); c == a {
+		t.Fatalf("different configs collided on %q", c)
+	}
+	if !strings.HasPrefix(a, "single-gcc-") {
+		t.Fatalf("key %q lost its prefix", a)
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	s1 := DeriveSeed(2022, "job-a")
+	if s2 := DeriveSeed(2022, "job-a"); s2 != s1 {
+		t.Fatalf("seed not stable: %x vs %x", s1, s2)
+	}
+	if s3 := DeriveSeed(2022, "job-b"); s3 == s1 {
+		t.Fatalf("distinct jobs share seed %x", s1)
+	}
+	if s4 := DeriveSeed(2023, "job-a"); s4 == s1 {
+		t.Fatalf("distinct roots share seed %x", s1)
+	}
+}
+
+func TestDedupExecutesOnce(t *testing.T) {
+	r := MustNew(Options{Workers: 4})
+	var runs atomic.Int64
+	fn := func() int {
+		runs.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return 42
+	}
+	var futs []Future[int]
+	for i := 0; i < 20; i++ {
+		futs = append(futs, Submit(r, "same-key", fn))
+	}
+	for _, f := range futs {
+		if got := f.Get(); got != 42 {
+			t.Fatalf("Get = %d, want 42", got)
+		}
+	}
+	r.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	st := r.Stats()
+	if st.Submitted != 20 || st.Deduped != 19 || st.Executed != 1 || st.Unique() != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []fakeResult {
+		r := MustNew(Options{Workers: workers})
+		var futs []Future[fakeResult]
+		for i := 0; i < 64; i++ {
+			cfg := struct{ Point int }{i}
+			key := Key("det", cfg)
+			seed := DeriveSeed(99, key)
+			futs = append(futs, Submit(r, key, func() fakeResult {
+				return fakeResult{Seed: seed, Value: float64(seed%1000) / 7}
+			}))
+		}
+		out := make([]fakeResult, len(futs))
+		for i, f := range futs {
+			out[i] = f.Get()
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs between -j 1 and -j 8: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDiskCacheResume(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Runner {
+		r, err := New(Options{Workers: 2, CacheDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	submitAll := func(r *Runner) []Future[fakeResult] {
+		var futs []Future[fakeResult]
+		for i := 0; i < 10; i++ {
+			i := i
+			key := Key("resume", struct{ Point int }{i})
+			futs = append(futs, Submit(r, key, func() fakeResult {
+				return fakeResult{Seed: uint64(i), Value: float64(i) * 1.5}
+			}))
+		}
+		return futs
+	}
+
+	r1 := mk()
+	want := make([]fakeResult, 0, 10)
+	for _, f := range submitAll(r1) {
+		want = append(want, f.Get())
+	}
+	r1.Wait()
+	if st := r1.Stats(); st.Executed != 10 || st.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	// A fresh runner over the same cache dir — as after an interrupted run —
+	// must resolve every job from disk and execute nothing.
+	r2 := mk()
+	for i, f := range submitAll(r2) {
+		if got := f.Get(); got != want[i] {
+			t.Fatalf("resumed job %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	r2.Wait()
+	if st := r2.Stats(); st.Executed != 0 || st.DiskHits != 10 {
+		t.Fatalf("warm stats = %+v, want 0 executed / 10 disk hits", st)
+	}
+}
+
+func TestCorruptCacheEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("corrupt", struct{ X int }{1})
+	r1, _ := New(Options{CacheDir: dir})
+	Submit(r1, key, func() int { return 7 }).Get()
+	r1.Wait()
+
+	// Truncate the entry as an interrupted non-atomic writer would have.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v), want exactly 1", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{\"trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _ := New(Options{CacheDir: dir})
+	if got := Submit(r2, key, func() int { return 7 }).Get(); got != 7 {
+		t.Fatalf("recomputed value = %d, want 7", got)
+	}
+	r2.Wait()
+	if st := r2.Stats(); st.Executed != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats after corrupt entry = %+v, want recompute", st)
+	}
+}
+
+func TestBadCacheDirRejected(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Options{CacheDir: filepath.Join(file, "sub")}); err == nil {
+		t.Fatal("New accepted a cache dir under a regular file")
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var buf bytes.Buffer
+	r := MustNew(Options{Workers: 2, Progress: &buf, ProgressInterval: time.Millisecond})
+	for i := 0; i < 8; i++ {
+		cfg := struct{ I int }{i}
+		Submit(r, Key("prog", cfg), func() int {
+			time.Sleep(2 * time.Millisecond)
+			return cfg.I
+		})
+	}
+	r.Close()
+	out := buf.String()
+	if !strings.Contains(out, "harness:") || !strings.Contains(out, "8 executed") {
+		t.Fatalf("progress output missing counters:\n%s", out)
+	}
+}
+
+func TestConcurrentSubmitStress(t *testing.T) {
+	// Many goroutines racing to submit overlapping keys: exercised under
+	// `go test -race` by the CI target.
+	r := MustNew(Options{Workers: 4})
+	var runs atomic.Int64
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("stress-%d", i%10)
+				if got := Submit(r, key, func() int { runs.Add(1); return i }).Get(); got < 0 {
+					t.Error("negative result")
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	r.Wait()
+	if runs.Load() != 10 {
+		t.Fatalf("executed %d unique jobs, want 10", runs.Load())
+	}
+	if st := r.Stats(); st.Submitted != 400 || st.Unique() != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

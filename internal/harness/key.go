@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"hybp/internal/rng"
+)
+
+// Key builds a content-addressed job key: a human-readable prefix (for
+// debuggable cache filenames and progress output) plus the FNV-1a hash of
+// the canonical JSON encoding of config. config must be a struct (struct
+// fields marshal in declaration order, making the encoding canonical) and
+// must include everything the job's result depends on — seed and scale
+// included. Two configs collide exactly when every field is equal.
+func Key(prefix string, config any) string {
+	return fmt.Sprintf("%s-%016x", prefix, Hash(config))
+}
+
+// Hash is the FNV-1a 64-bit hash of config's canonical JSON encoding.
+func Hash(config any) uint64 {
+	b, err := json.Marshal(config)
+	if err != nil {
+		// Job configs are plain structs of scalars; a marshal failure is a
+		// programming error, not a runtime condition.
+		panic("harness: unmarshalable job config: " + err.Error())
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// DeriveSeed derives a job's private seed from the experiment's root seed
+// and the job's content-addressed key via splitmix64. Every job therefore
+// owns an uncorrelated, reproducible seed that depends only on (root seed,
+// job identity) — never on submission order, worker count, or scheduling —
+// which is what makes -j 1 and -j N runs bit-identical.
+func DeriveSeed(root uint64, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return rng.NewSplitMix64(root ^ h.Sum64()).Next()
+}

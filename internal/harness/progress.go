@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// reporter periodically rewrites a one-line job counter on w: jobs
+// done/total, executed vs cache-hit split, and an ETA extrapolated from
+// the completion rate so far. The total grows as experiments submit more
+// jobs, so the ETA is for the work known at that instant.
+type reporter struct {
+	w     io.Writer
+	r     *Runner
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func newReporter(w io.Writer, r *Runner, interval time.Duration) *reporter {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	p := &reporter{
+		w:     w,
+		r:     r,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.loop(interval)
+	return p
+}
+
+func (p *reporter) loop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			p.print(true)
+			close(p.done)
+			return
+		case <-t.C:
+			p.print(false)
+		}
+	}
+}
+
+func (p *reporter) print(final bool) {
+	st := p.r.Stats()
+	elapsed := time.Since(p.start)
+	if final {
+		fmt.Fprintf(p.w, "\rharness: %s in %s%s\n",
+			st, elapsed.Round(time.Millisecond), strings20)
+		return
+	}
+	total, done := st.Unique(), st.Completed
+	eta := "?"
+	if done > 0 && done < total {
+		eta = (elapsed / time.Duration(done) * time.Duration(total-done)).
+			Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(p.w, "\rharness: %d/%d jobs done, %d executed, %d cached, ETA %s%s",
+		done, total, st.Executed, st.DiskHits, eta, strings20)
+}
+
+// strings20 pads rewrites so a shrinking line leaves no stale tail.
+const strings20 = "                    "
+
+func (p *reporter) close() {
+	close(p.stop)
+	<-p.done
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"hybp/internal/harness"
 	"hybp/internal/metrics"
+	"hybp/internal/pipeline"
 	"hybp/internal/secure"
 )
 
@@ -16,17 +18,34 @@ type BRBResult struct {
 	HyBPOverheadKB, BRBOverheadKB float64
 }
 
-// BRBComparison measures both mechanisms on single-thread context-switch
-// workloads at the default interval and accounts their storage.
+// BRBComparison runs the comparison on a private runner.
 func BRBComparison(sc Scale, benches []string) BRBResult {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.BRBComparison(sc, benches)
+}
+
+// BRBComparison measures both mechanisms on single-thread context-switch
+// workloads at the default interval and accounts their storage. The
+// baseline points are shared with Table I and Figure 6 through the cache.
+func (r *Runner) BRBComparison(sc Scale, benches []string) BRBResult {
 	if len(benches) == 0 {
 		benches = []string{"gcc", "deepsjeng", "xz", "imagick"}
 	}
+	type trio struct{ base, hy, brb harness.Future[pipeline.ThreadResult] }
+	futs := make([]trio, len(benches))
+	for i, b := range benches {
+		futs[i] = trio{
+			base: r.Single(sc, b, Mech(MechBaseline), sc.DefaultInterval),
+			hy:   r.Single(sc, b, Mech(MechHyBP), sc.DefaultInterval),
+			brb:  r.Single(sc, b, Mech(MechBRB), sc.DefaultInterval),
+		}
+	}
 	var hy, brb []float64
-	for _, b := range benches {
-		base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), sc.DefaultInterval, sc)
-		hy = append(hy, degradation(base, runSingle(b, newBPU(MechHyBP, 1, sc.Seed), sc.DefaultInterval, sc)))
-		brb = append(brb, degradation(base, runSingle(b, newBPU(MechBRB, 1, sc.Seed), sc.DefaultInterval, sc)))
+	for _, f := range futs {
+		base := f.base.Get()
+		hy = append(hy, degradation(base, f.hy.Get()))
+		brb = append(brb, degradation(base, f.brb.Get()))
 	}
 	hybpCost := secure.Cost(secure.NewHyBP(secure.Config{Threads: 2, Seed: sc.Seed}))
 	brbBPU := secure.NewBRB(secure.Config{Threads: 2, Seed: sc.Seed})

@@ -5,12 +5,21 @@ import (
 	"io"
 	"sort"
 
-	"hybp/internal/keys"
+	"hybp/internal/harness"
 	"hybp/internal/metrics"
 	"hybp/internal/pipeline"
 	"hybp/internal/secure"
 	"hybp/internal/workload"
 )
+
+// Every experiment below follows the harness's two-phase pattern: first
+// enumerate all simulation points as jobs (Runner.Single/SMT/Solo return
+// futures immediately; duplicates — e.g. the baseline runs shared between
+// Table I, Figure 6, and the BRB comparison — coalesce onto one job), then
+// collect results in deterministic enumeration order. The package-level
+// functions are convenience wrappers running on a private pool; callers
+// that run several experiments (cmd/hybpexp) share one Runner so common
+// points are simulated once.
 
 // ---------------------------------------------------------------------------
 // Table I — comparison of security mechanisms.
@@ -30,12 +39,19 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
+// Table1 regenerates the paper's Table I on a private runner.
+func Table1(sc Scale, benches []string, mixes []workload.Mix) Table1Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Table1(sc, benches, mixes)
+}
+
 // Table1 regenerates the paper's Table I: single-thread average degradation
 // for Flush, SMT-mix average degradation for Partition/Replication/HyBP,
 // Disable-SMT throughput loss, and the storage overheads; security columns
 // come from the Section VI analysis implemented in internal/attack (the
 // same verdicts as the paper's Table III, asserted by the attack tests).
-func Table1(sc Scale, benches []string, mixes []workload.Mix) Table1Result {
+func (r *Runner) Table1(sc Scale, benches []string, mixes []workload.Mix) Table1Result {
 	if len(benches) == 0 {
 		benches = []string{"perlbench", "gcc", "deepsjeng", "xz", "namd", "imagick"}
 	}
@@ -43,23 +59,47 @@ func Table1(sc Scale, benches []string, mixes []workload.Mix) Table1Result {
 		mixes = workload.Mixes()[:4]
 	}
 
-	// Single-thread average for Flush (and HyBP's single-thread number is
-	// reported by Figure 6; Table I's HyBP row uses the SMT mixes like
-	// Partition/Replication).
-	flushLosses := make([]float64, 0, len(benches))
-	for _, b := range benches {
-		base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), sc.DefaultInterval, sc)
-		fl := runSingle(b, newBPU(MechFlush, 1, sc.Seed), sc.DefaultInterval, sc)
-		flushLosses = append(flushLosses, degradation(base, fl))
+	// Phase 1: enumerate every point. Single-thread Flush pairs (HyBP's
+	// single-thread number is reported by Figure 6; Table I's HyBP row uses
+	// the SMT mixes like Partition/Replication), the SMT baseline and
+	// mechanism runs per mix, and the solo runs behind Disable-SMT.
+	type pair struct{ base, mech harness.Future[pipeline.ThreadResult] }
+	flush := make([]pair, len(benches))
+	for i, b := range benches {
+		flush[i] = pair{
+			base: r.Single(sc, b, Mech(MechBaseline), sc.DefaultInterval),
+			mech: r.Single(sc, b, Mech(MechFlush), sc.DefaultInterval),
+		}
+	}
+	smtBase := make([]harness.Future[pipeline.Result], len(mixes))
+	soloA := make([]harness.Future[pipeline.ThreadResult], len(mixes))
+	soloB := make([]harness.Future[pipeline.ThreadResult], len(mixes))
+	for i, m := range mixes {
+		smtBase[i] = r.SMT(sc, m, Mech(MechBaseline), sc.DefaultInterval)
+		soloA[i] = r.Solo(sc, m.A, Mech(MechBaseline))
+		soloB[i] = r.Solo(sc, m.B, Mech(MechBaseline))
+	}
+	mechIDs := []MechanismID{MechPartition, MechReplication, MechHyBP}
+	smtMech := make(map[MechanismID][]harness.Future[pipeline.Result], len(mechIDs))
+	for _, id := range mechIDs {
+		fs := make([]harness.Future[pipeline.Result], len(mixes))
+		for i, m := range mixes {
+			fs[i] = r.SMT(sc, m, Mech(id), sc.DefaultInterval)
+		}
+		smtMech[id] = fs
 	}
 
-	// SMT throughput losses per mechanism.
+	// Phase 2: collect.
+	flushLosses := make([]float64, 0, len(benches))
+	for i := range benches {
+		flushLosses = append(flushLosses, degradation(flush[i].base.Get(), flush[i].mech.Get()))
+	}
+
 	smtLoss := func(id MechanismID) float64 {
 		losses := make([]float64, 0, len(mixes))
-		for _, m := range mixes {
-			base := runSMT(m, newBPU(MechBaseline, 2, sc.Seed), sc.DefaultInterval, sc)
-			mech := runSMT(m, newBPU(id, 2, sc.Seed), sc.DefaultInterval, sc)
-			losses = append(losses, metrics.DegradationPercent(base.ThroughputIPC(), mech.ThroughputIPC()))
+		for i := range mixes {
+			losses = append(losses, metrics.DegradationPercent(
+				smtBase[i].Get().ThroughputIPC(), smtMech[id][i].Get().ThroughputIPC()))
 		}
 		return metrics.Mean(losses)
 	}
@@ -67,16 +107,14 @@ func Table1(sc Scale, benches []string, mixes []workload.Mix) Table1Result {
 	replLoss := smtLoss(MechReplication)
 	hybpLoss := smtLoss(MechHyBP)
 
-	// Disable SMT: run the mixes' two benchmarks time-shared on one
-	// hardware thread (half the throughput of each, roughly) vs SMT-2
-	// baseline throughput.
+	// Disable SMT: the mixes' two benchmarks time-shared on one hardware
+	// thread vs SMT-2 baseline throughput. Serial execution's combined
+	// throughput is total work over summed time — the harmonic combination
+	// of the two solo IPCs.
 	disableLosses := make([]float64, 0, len(mixes))
-	for _, m := range mixes {
-		smt := runSMT(m, newBPU(MechBaseline, 2, sc.Seed), sc.DefaultInterval, sc)
-		a := runSolo(m.A, newBPU(MechBaseline, 1, sc.Seed), sc)
-		b := runSolo(m.B, newBPU(MechBaseline, 1, sc.Seed), sc)
-		// Serial execution: combined throughput is total work over summed
-		// time — the harmonic combination of the two solo IPCs.
+	for i := range mixes {
+		smt := smtBase[i].Get()
+		a, b := soloA[i].Get(), soloB[i].Get()
 		serial := 2 * a.IPC() * b.IPC() / (a.IPC() + b.IPC())
 		disableLosses = append(disableLosses, metrics.DegradationPercent(smt.ThroughputIPC(), serial))
 	}
@@ -119,24 +157,38 @@ type Fig2Result struct {
 	Avg    map[int]float64
 }
 
+// Fig2 regenerates Figure 2 on a private runner.
+func Fig2(sc Scale, benches []string) Fig2Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Fig2(sc, benches)
+}
+
 // Fig2 regenerates Figure 2: IPC loss when the front-end pipeline grows by
 // 2, 4, and 8 cycles (inline encryption latency) on a single-threaded core.
-func Fig2(sc Scale, benches []string) Fig2Result {
+func (r *Runner) Fig2(sc Scale, benches []string) Fig2Result {
 	if len(benches) == 0 {
 		benches = workload.FigureApps()
 	}
 	extras := []int{2, 4, 8}
+
+	baseF := make([]harness.Future[pipeline.ThreadResult], len(benches))
+	exF := make([]map[int]harness.Future[pipeline.ThreadResult], len(benches))
+	for i, b := range benches {
+		baseF[i] = r.SingleFE(sc, b, Mech(MechBaseline), 0, 0)
+		exF[i] = make(map[int]harness.Future[pipeline.ThreadResult], len(extras))
+		for _, ex := range extras {
+			exF[i][ex] = r.SingleFE(sc, b, Mech(MechBaseline), 0, ex)
+		}
+	}
+
 	res := Fig2Result{Extras: extras, Avg: map[int]float64{}}
 	sums := map[int]float64{}
-	for _, b := range benches {
-		core := pipeline.DefaultCoreConfig()
-		base := runSingleCore(b, newBPU(MechBaseline, 1, sc.Seed), 0, core, sc)
+	for i, b := range benches {
+		base := baseF[i].Get()
 		row := Fig2Row{Bench: b, Accuracy: base.Accuracy(), Loss: map[int]float64{}}
 		for _, ex := range extras {
-			c := core
-			c.ExtraFrontEnd = ex
-			r := runSingleCore(b, newBPU(MechBaseline, 1, sc.Seed), 0, c, sc)
-			loss := degradation(base, r)
+			loss := degradation(base, exF[i][ex].Get())
 			row.Loss[ex] = loss
 			sums[ex] += loss
 		}
@@ -187,19 +239,39 @@ type Fig5Result struct {
 	Avg       map[uint64]float64
 }
 
+// Fig5 regenerates Figure 5 on a private runner.
+func Fig5(sc Scale, benches []string) Fig5Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Fig5(sc, benches)
+}
+
 // Fig5 regenerates Figure 5: normalized IPC of HyBP per application under
 // different context-switch intervals on a single-threaded core.
-func Fig5(sc Scale, benches []string) Fig5Result {
+func (r *Runner) Fig5(sc Scale, benches []string) Fig5Result {
 	if len(benches) == 0 {
 		benches = workload.FigureApps()
 	}
+
+	type pair struct{ base, hy harness.Future[pipeline.ThreadResult] }
+	futs := make(map[string]map[uint64]pair, len(benches))
+	for _, b := range benches {
+		futs[b] = make(map[uint64]pair, len(sc.Intervals))
+		for _, iv := range sc.Intervals {
+			futs[b][iv] = pair{
+				base: r.Single(sc, b, Mech(MechBaseline), iv),
+				hy:   r.Single(sc, b, Mech(MechHyBP), iv),
+			}
+		}
+	}
+
 	res := Fig5Result{Intervals: sc.Intervals, Avg: map[uint64]float64{}}
 	sums := map[uint64]float64{}
 	for _, b := range benches {
 		row := Fig5Row{Bench: b, NormalizedIPC: map[uint64]float64{}}
 		for _, iv := range sc.Intervals {
-			base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), iv, sc)
-			hy := runSingle(b, newBPU(MechHyBP, 1, sc.Seed), iv, sc)
+			p := futs[b][iv]
+			base, hy := p.base.Get(), p.hy.Get()
 			n := 0.0
 			if base.IPC() > 0 {
 				n = hy.IPC() / base.IPC()
@@ -267,32 +339,56 @@ type Fig6Result struct {
 	Points []Fig6Point
 }
 
+// Fig6 regenerates Figure 6 on a private runner.
+func Fig6(sc Scale, benches []string) Fig6Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Fig6(sc, benches)
+}
+
 // Fig6 regenerates Figure 6: average single-thread degradation of HyBP,
 // Flush (split into context-switch and privilege-change components), and
 // Partition across context-switch intervals.
-func Fig6(sc Scale, benches []string) Fig6Result {
+func (r *Runner) Fig6(sc Scale, benches []string) Fig6Result {
 	if len(benches) == 0 {
 		benches = []string{"perlbench", "gcc", "deepsjeng", "xz", "fotonik3d", "namd", "imagick", "xalancbmk"}
 	}
+
+	flushCtx := Mech(MechFlush)
+	flushCtx.FlushCtxOnly = true
+	mechs := []MechSpec{Mech(MechHyBP), Mech(MechFlush), flushCtx, Mech(MechPartition)}
+
+	type cell struct {
+		base harness.Future[pipeline.ThreadResult]
+		mech [4]harness.Future[pipeline.ThreadResult]
+	}
+	cells := make(map[uint64][]cell, len(sc.Intervals))
+	for _, iv := range sc.Intervals {
+		cs := make([]cell, len(benches))
+		for i, b := range benches {
+			cs[i].base = r.Single(sc, b, Mech(MechBaseline), iv)
+			for j, m := range mechs {
+				cs[i].mech[j] = r.Single(sc, b, m, iv)
+			}
+		}
+		cells[iv] = cs
+	}
+
 	var res Fig6Result
 	for _, iv := range sc.Intervals {
-		var hy, fl, flCtx, pa []float64
-		for _, b := range benches {
-			base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), iv, sc)
-			hy = append(hy, degradation(base, runSingle(b, newBPU(MechHyBP, 1, sc.Seed), iv, sc)))
-			fl = append(fl, degradation(base, runSingle(b, newBPU(MechFlush, 1, sc.Seed), iv, sc)))
-			// Context-only flush isolates the shaded component.
-			fc := secure.NewFlush(secure.Config{Threads: 1, Seed: sc.Seed})
-			fc.FlushOnPrivilege = false
-			flCtx = append(flCtx, degradation(base, runSingle(b, fc, iv, sc)))
-			pa = append(pa, degradation(base, runSingle(b, newBPU(MechPartition, 1, sc.Seed), iv, sc)))
+		var sums [4][]float64
+		for _, c := range cells[iv] {
+			base := c.base.Get()
+			for j := range mechs {
+				sums[j] = append(sums[j], degradation(base, c.mech[j].Get()))
+			}
 		}
 		res.Points = append(res.Points, Fig6Point{
 			Interval:     iv,
-			HyBP:         metrics.Mean(hy),
-			Flush:        metrics.Mean(fl),
-			FlushCtxPart: metrics.Mean(flCtx),
-			Partition:    metrics.Mean(pa),
+			HyBP:         metrics.Mean(sums[0]),
+			Flush:        metrics.Mean(sums[1]),
+			FlushCtxPart: metrics.Mean(sums[2]),
+			Partition:    metrics.Mean(sums[3]),
 		})
 	}
 	return res
@@ -328,41 +424,56 @@ type Fig7Result struct {
 	AvgH  map[MechanismID]float64
 }
 
+// Fig7 regenerates Figure 7 on a private runner.
+func Fig7(sc Scale, mixes []workload.Mix) Fig7Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Fig7(sc, mixes)
+}
+
 // Fig7 regenerates Figure 7: per-mix SMT throughput degradation (a) and
 // Hmean fairness degradation (b) for Partition, Replication, and HyBP.
 // Flush is excluded by design — it does not protect SMT (Table III).
-func Fig7(sc Scale, mixes []workload.Mix) Fig7Result {
+func (r *Runner) Fig7(sc Scale, mixes []workload.Mix) Fig7Result {
 	if len(mixes) == 0 {
 		mixes = workload.Mixes()
 	}
 	mechs := []MechanismID{MechPartition, MechReplication, MechHyBP}
 	res := Fig7Result{Mechs: mechs, AvgT: map[MechanismID]float64{}, AvgH: map[MechanismID]float64{}}
 
-	soloIPC := map[string]float64{}
-	solo := func(bench string) float64 {
-		if v, ok := soloIPC[bench]; ok {
-			return v
+	// Solo runs repeat across mixes; the harness dedupes them to one job.
+	soloF := make(map[string]harness.Future[pipeline.ThreadResult])
+	for _, m := range mixes {
+		for _, b := range []string{m.A, m.B} {
+			soloF[b] = r.Solo(sc, b, Mech(MechBaseline))
 		}
-		v := runSolo(bench, newBPU(MechBaseline, 1, sc.Seed), sc).IPC()
-		soloIPC[bench] = v
-		return v
+	}
+	baseF := make([]harness.Future[pipeline.Result], len(mixes))
+	mechF := make([]map[MechanismID]harness.Future[pipeline.Result], len(mixes))
+	for i, m := range mixes {
+		baseF[i] = r.SMT(sc, m, Mech(MechBaseline), sc.DefaultInterval)
+		mechF[i] = make(map[MechanismID]harness.Future[pipeline.Result], len(mechs))
+		for _, id := range mechs {
+			mechF[i][id] = r.SMT(sc, m, Mech(id), sc.DefaultInterval)
+		}
 	}
 
+	solo := func(bench string) float64 { return soloF[bench].Get().IPC() }
 	sumsT := map[MechanismID]float64{}
 	sumsH := map[MechanismID]float64{}
-	for _, m := range mixes {
-		base := runSMT(m, newBPU(MechBaseline, 2, sc.Seed), sc.DefaultInterval, sc)
+	for i, m := range mixes {
+		base := baseF[i].Get()
 		baseHmean := metrics.Hmean(
 			[]float64{solo(m.A), solo(m.B)},
 			[]float64{base.Threads[0].IPC(), base.Threads[1].IPC()},
 		)
 		row := Fig7Row{Mix: m.Name, ThroughputLoss: map[MechanismID]float64{}, HmeanLoss: map[MechanismID]float64{}}
 		for _, id := range mechs {
-			r := runSMT(m, newBPU(id, 2, sc.Seed), sc.DefaultInterval, sc)
-			tl := metrics.DegradationPercent(base.ThroughputIPC(), r.ThroughputIPC())
+			mr := mechF[i][id].Get()
+			tl := metrics.DegradationPercent(base.ThroughputIPC(), mr.ThroughputIPC())
 			h := metrics.Hmean(
 				[]float64{solo(m.A), solo(m.B)},
-				[]float64{r.Threads[0].IPC(), r.Threads[1].IPC()},
+				[]float64{mr.Threads[0].IPC(), mr.Threads[1].IPC()},
 			)
 			hl := metrics.DegradationPercent(baseHmean, h)
 			row.ThroughputLoss[id] = tl
@@ -434,35 +545,57 @@ type Fig8Result struct {
 	Crossover float64 // overhead where replication first matches HyBP
 }
 
+// Fig8 regenerates Figure 8 on a private runner.
+func Fig8(sc Scale, mixes []workload.Mix, overheads []float64) Fig8Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Fig8(sc, mixes, overheads)
+}
+
 // Fig8 regenerates Figure 8: replication's performance loss as its storage
 // overhead scales from 0 to 300%, against HyBP's (loss, cost) point; the
 // paper finds the crossover near 240%.
-func Fig8(sc Scale, mixes []workload.Mix, overheads []float64) Fig8Result {
+func (r *Runner) Fig8(sc Scale, mixes []workload.Mix, overheads []float64) Fig8Result {
 	if len(mixes) == 0 {
 		mixes = []workload.Mix{workload.Mixes()[0], workload.Mixes()[4], workload.Mixes()[8]}
 	}
 	if len(overheads) == 0 {
 		overheads = []float64{0, 0.5, 1.0, 1.5, 2.0, 2.4, 3.0}
 	}
-	avgLoss := func(mk func() secure.BPU) float64 {
+
+	baseF := make([]harness.Future[pipeline.Result], len(mixes))
+	for i, m := range mixes {
+		baseF[i] = r.SMT(sc, m, Mech(MechBaseline), sc.DefaultInterval)
+	}
+	submitSweep := func(spec MechSpec) []harness.Future[pipeline.Result] {
+		fs := make([]harness.Future[pipeline.Result], len(mixes))
+		for i, m := range mixes {
+			fs[i] = r.SMT(sc, m, spec, sc.DefaultInterval)
+		}
+		return fs
+	}
+	replF := make([][]harness.Future[pipeline.Result], len(overheads))
+	for i, ov := range overheads {
+		spec := Mech(MechReplication)
+		spec.ReplFactor = ov
+		replF[i] = submitSweep(spec)
+	}
+	hybpF := submitSweep(Mech(MechHyBP))
+
+	avgLoss := func(fs []harness.Future[pipeline.Result]) float64 {
 		var ls []float64
-		for _, m := range mixes {
-			base := runSMT(m, newBPU(MechBaseline, 2, sc.Seed), sc.DefaultInterval, sc)
-			r := runSMT(m, mk(), sc.DefaultInterval, sc)
-			ls = append(ls, metrics.DegradationPercent(base.ThroughputIPC(), r.ThroughputIPC()))
+		for i := range mixes {
+			ls = append(ls, metrics.DegradationPercent(
+				baseF[i].Get().ThroughputIPC(), fs[i].Get().ThroughputIPC()))
 		}
 		return metrics.Mean(ls)
 	}
 
 	var res Fig8Result
-	for _, ov := range overheads {
-		ov := ov
-		loss := avgLoss(func() secure.BPU {
-			return secure.NewReplication(secure.Config{Threads: 2, Seed: sc.Seed}, ov)
-		})
-		res.Points = append(res.Points, Fig8Point{OverheadPercent: 100 * ov, PerfLoss: loss})
+	for i, ov := range overheads {
+		res.Points = append(res.Points, Fig8Point{OverheadPercent: 100 * ov, PerfLoss: avgLoss(replF[i])})
 	}
-	res.HyBPLoss = avgLoss(func() secure.BPU { return newBPU(MechHyBP, 2, sc.Seed) })
+	res.HyBPLoss = avgLoss(hybpF)
 	res.HyBPCost = secure.Cost(secure.NewHyBP(secure.Config{Threads: 2, Seed: sc.Seed})).OverheadPercent
 
 	res.Crossover = -1
@@ -501,10 +634,17 @@ type Table6Result struct {
 	Loss      map[uint64]map[int]float64
 }
 
+// Table6 regenerates Table VI on a private runner.
+func Table6(sc Scale, benches []string, sizes []int) Table6Result {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Table6(sc, benches, sizes)
+}
+
 // Table6 regenerates Table VI: HyBP overhead versus the randomized index
 // keys table size (the refresh window grows with the table, lengthening the
 // stale-key period after each context switch).
-func Table6(sc Scale, benches []string, sizes []int) Table6Result {
+func (r *Runner) Table6(sc Scale, benches []string, sizes []int) Table6Result {
 	if len(benches) == 0 {
 		benches = []string{"gcc", "deepsjeng", "xz", "imagick"}
 	}
@@ -512,17 +652,32 @@ func Table6(sc Scale, benches []string, sizes []int) Table6Result {
 		sizes = []int{1024, 2048, 4096, 16384, 32768}
 	}
 	intervals := []uint64{sc.DefaultInterval / 4, sc.DefaultInterval}
+
+	type pair struct{ base, hy harness.Future[pipeline.ThreadResult] }
+	futs := make(map[uint64]map[int][]pair, len(intervals))
+	for _, iv := range intervals {
+		futs[iv] = make(map[int][]pair, len(sizes))
+		for _, size := range sizes {
+			spec := Mech(MechHyBP)
+			spec.KeysEntries = size
+			ps := make([]pair, len(benches))
+			for i, b := range benches {
+				ps[i] = pair{
+					base: r.Single(sc, b, Mech(MechBaseline), iv),
+					hy:   r.Single(sc, b, spec, iv),
+				}
+			}
+			futs[iv][size] = ps
+		}
+	}
+
 	res := Table6Result{Intervals: intervals, Sizes: sizes, Loss: map[uint64]map[int]float64{}}
 	for _, iv := range intervals {
 		res.Loss[iv] = map[int]float64{}
 		for _, size := range sizes {
 			var ls []float64
-			for _, b := range benches {
-				base := runSingle(b, newBPU(MechBaseline, 1, sc.Seed), iv, sc)
-				kc := keys.DefaultConfig(sc.Seed)
-				kc.Entries = size
-				hy := secure.NewHyBP(secure.Config{Threads: 1, Seed: sc.Seed, Keys: kc})
-				ls = append(ls, degradation(base, runSingle(b, hy, iv, sc)))
+			for _, p := range futs[iv][size] {
+				ls = append(ls, degradation(p.base.Get(), p.hy.Get()))
 			}
 			res.Loss[iv][size] = metrics.Mean(ls)
 		}
@@ -563,18 +718,34 @@ type TournamentResult struct {
 	GainPercent            float64
 }
 
+// Tournament regenerates the Section VII-F comparison on a private runner.
+func Tournament(sc Scale, benches []string) TournamentResult {
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.Tournament(sc, benches)
+}
+
 // Tournament regenerates the Section VII-F yardstick: the IPC gain of
 // TAGE-SC-L over the decades-old tournament predictor (≈5.4% in the paper),
 // the context for why single-digit protection overheads matter.
-func Tournament(sc Scale, benches []string) TournamentResult {
+func (r *Runner) Tournament(sc Scale, benches []string) TournamentResult {
 	if len(benches) == 0 {
 		benches = workload.FigureApps()
 	}
+	tourn := Mech(MechBaseline)
+	tourn.Tournament = true
+
+	tageF := make([]harness.Future[pipeline.ThreadResult], len(benches))
+	tournF := make([]harness.Future[pipeline.ThreadResult], len(benches))
+	for i, b := range benches {
+		tageF[i] = r.Solo(sc, b, Mech(MechBaseline))
+		tournF[i] = r.Solo(sc, b, tourn)
+	}
+
 	var tageIPCs, tournIPCs []float64
-	for _, b := range benches {
-		tageIPCs = append(tageIPCs, runSolo(b, newBPU(MechBaseline, 1, sc.Seed), sc).IPC())
-		tb := secure.NewBaseline(secure.Config{Threads: 1, Seed: sc.Seed, UseTournament: true})
-		tournIPCs = append(tournIPCs, runSolo(b, tb, sc).IPC())
+	for i := range benches {
+		tageIPCs = append(tageIPCs, tageF[i].Get().IPC())
+		tournIPCs = append(tournIPCs, tournF[i].Get().IPC())
 	}
 	tg, tn := metrics.GeoMean(tageIPCs), metrics.GeoMean(tournIPCs)
 	return TournamentResult{

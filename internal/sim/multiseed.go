@@ -5,7 +5,9 @@ import (
 	"io"
 	"math"
 
+	"hybp/internal/harness"
 	"hybp/internal/metrics"
+	"hybp/internal/pipeline"
 )
 
 // SeedStats summarizes a metric measured across independent seeds: the
@@ -58,25 +60,73 @@ func Summarize(xs []float64) SeedStats {
 }
 
 // MultiSeedDegradation measures a mechanism's single-thread degradation on
-// one benchmark across n seeds at the default interval.
+// one benchmark across n seeds at the default interval, on a private runner.
 func MultiSeedDegradation(sc Scale, bench string, id MechanismID, n int) SeedStats {
-	var xs []float64
+	r := NewDefaultRunner()
+	defer r.Close()
+	return r.MultiSeedDegradation(sc, bench, id, n)
+}
+
+// MultiSeedDegradation measures a mechanism's single-thread degradation on
+// one benchmark across n seeds at the default interval. Each seed's root
+// is distinct, so its points are distinct jobs; the n seeds all run in
+// parallel on the pool.
+func (r *Runner) MultiSeedDegradation(sc Scale, bench string, id MechanismID, n int) SeedStats {
+	type pair struct{ base, mech harness.Future[pipeline.ThreadResult] }
+	futs := make([]pair, n)
 	for i := 0; i < n; i++ {
 		s := sc
 		s.Seed = sc.Seed + uint64(i)*7919
-		base := runSingle(bench, newBPU(MechBaseline, 1, s.Seed), s.DefaultInterval, s)
-		mech := runSingle(bench, newBPU(id, 1, s.Seed), s.DefaultInterval, s)
-		xs = append(xs, degradation(base, mech))
+		futs[i] = pair{
+			base: r.Single(s, bench, Mech(MechBaseline), s.DefaultInterval),
+			mech: r.Single(s, bench, Mech(id), s.DefaultInterval),
+		}
+	}
+	var xs []float64
+	for _, p := range futs {
+		xs = append(xs, degradation(p.base.Get(), p.mech.Get()))
 	}
 	return Summarize(xs)
 }
 
-// PrintMultiSeed writes a multi-seed comparison of the mechanisms on one
-// benchmark.
-func PrintMultiSeed(w io.Writer, sc Scale, bench string, n int) {
-	fmt.Fprintf(w, "%s, %d seeds, interval %s:\n", bench, n, fmtInterval(sc.DefaultInterval))
-	for _, id := range []MechanismID{MechFlush, MechPartition, MechBRB, MechHyBP} {
-		st := MultiSeedDegradation(sc, bench, id, n)
-		fmt.Fprintf(w, "  %-12s %s %%\n", id, st)
+// MultiSeedResult is the per-mechanism seed sweep on one benchmark — the
+// `seeds` experiment of cmd/hybpexp, also consumed as JSON.
+type MultiSeedResult struct {
+	Bench    string
+	Seeds    int
+	Interval uint64
+	Mechs    []MechanismID
+	Stats    map[MechanismID]SeedStats
+}
+
+// MultiSeed measures every protection mechanism's degradation noise floor
+// on one benchmark across n seeds.
+func (r *Runner) MultiSeed(sc Scale, bench string, n int) MultiSeedResult {
+	res := MultiSeedResult{
+		Bench:    bench,
+		Seeds:    n,
+		Interval: sc.DefaultInterval,
+		Mechs:    []MechanismID{MechFlush, MechPartition, MechBRB, MechHyBP},
+		Stats:    map[MechanismID]SeedStats{},
 	}
+	for _, id := range res.Mechs {
+		res.Stats[id] = r.MultiSeedDegradation(sc, bench, id, n)
+	}
+	return res
+}
+
+// Print writes the comparison.
+func (m MultiSeedResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s, %d seeds, interval %s:\n", m.Bench, m.Seeds, fmtInterval(m.Interval))
+	for _, id := range m.Mechs {
+		fmt.Fprintf(w, "  %-12s %s %%\n", id, m.Stats[id])
+	}
+}
+
+// PrintMultiSeed writes a multi-seed comparison of the mechanisms on one
+// benchmark, on a private runner.
+func PrintMultiSeed(w io.Writer, sc Scale, bench string, n int) {
+	r := NewDefaultRunner()
+	defer r.Close()
+	r.MultiSeed(sc, bench, n).Print(w)
 }

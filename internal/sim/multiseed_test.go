@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.N != 0 || st.Mean != 0 || st.StdDev != 0 || st.Min != 0 || st.Max != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero value", st)
+	}
+	if st.CI95() != 0 {
+		t.Fatalf("CI95 on empty stats = %v, want 0", st.CI95())
+	}
+	if st2 := Summarize([]float64{}); st2 != st {
+		t.Fatalf("Summarize(empty) = %+v, want %+v", st2, st)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	st := Summarize([]float64{3.25})
+	if st.N != 1 || st.Mean != 3.25 || st.Min != 3.25 || st.Max != 3.25 {
+		t.Fatalf("single-element stats = %+v", st)
+	}
+	if st.StdDev != 0 {
+		t.Fatalf("single-element stddev = %v, want 0", st.StdDev)
+	}
+	// CI95 must be 0 for N <= 1: no spread is estimable from one sample.
+	if st.CI95() != 0 {
+		t.Fatalf("CI95 with N=1 = %v, want 0", st.CI95())
+	}
+}
+
+func TestSummarizeUnsortedMinMax(t *testing.T) {
+	// Min/Max must scan, not assume sorted input (first/last element are
+	// neither the min nor the max here).
+	st := Summarize([]float64{2, 7, -3, 9, 0, 4})
+	if st.Min != -3 {
+		t.Errorf("Min = %v, want -3", st.Min)
+	}
+	if st.Max != 9 {
+		t.Errorf("Max = %v, want 9", st.Max)
+	}
+	if st.N != 6 {
+		t.Errorf("N = %d, want 6", st.N)
+	}
+	if st.CI95() <= 0 {
+		t.Errorf("CI95 = %v, want positive for N>1 with spread", st.CI95())
+	}
+}
+
+func TestMultiSeedResultPrint(t *testing.T) {
+	res := MultiSeedResult{
+		Bench:    "gcc",
+		Seeds:    3,
+		Interval: 2_000_000,
+		Mechs:    []MechanismID{MechFlush, MechHyBP},
+		Stats: map[MechanismID]SeedStats{
+			MechFlush: Summarize([]float64{4.0, 4.5, 5.0}),
+			MechHyBP:  Summarize([]float64{0.1, 0.2, 0.3}),
+		},
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"gcc, 3 seeds", "flush", "hybp", "n=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}

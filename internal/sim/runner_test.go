@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"hybp/internal/harness"
+	"hybp/internal/workload"
+)
+
+// tiny returns a minimal scale so the harness-integration tests stay fast
+// enough to run under -race (they deliberately do not honor -short: they
+// are the concurrency coverage for the worker pool).
+func tiny() Scale {
+	sc := Quick()
+	sc.MaxCycles = 1_500_000
+	sc.WarmupCycles = 300_000
+	return sc
+}
+
+func newTestRunner(t *testing.T, opts harness.Options) *Runner {
+	t.Helper()
+	h, err := harness.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(h)
+}
+
+// TestWorkerCountEquivalence is the -j 1 vs -j N determinism guarantee:
+// identical table rows (same seeds → same floats) regardless of worker
+// count or scheduling order.
+func TestWorkerCountEquivalence(t *testing.T) {
+	sc := tiny()
+	benches := []string{"gcc", "deepsjeng"}
+	mixes := workload.Mixes()[:2]
+
+	r1 := newTestRunner(t, harness.Options{Workers: 1})
+	defer r1.Close()
+	r8 := newTestRunner(t, harness.Options{Workers: 8})
+	defer r8.Close()
+
+	a := r1.Table1(sc, benches, mixes)
+	b := r8.Table1(sc, benches, mixes)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table1 differs between -j 1 and -j 8:\n%+v\nvs\n%+v", a, b)
+	}
+
+	f1 := r1.Fig5(sc, benches[:1])
+	f8 := r8.Fig5(sc, benches[:1])
+	if !reflect.DeepEqual(f1, f8) {
+		t.Fatalf("Fig5 differs between -j 1 and -j 8:\n%+v\nvs\n%+v", f1, f8)
+	}
+}
+
+// TestWarmCacheAndSharedBaselines asserts the two cache-effectiveness
+// guarantees: a repeated experiment executes zero new simulations, and
+// points shared between experiments (Table I's and Figure 6's single-thread
+// baseline/Flush runs at the default interval) are computed once.
+func TestWarmCacheAndSharedBaselines(t *testing.T) {
+	sc := tiny()
+	benches := []string{"gcc", "deepsjeng"}
+	r := newTestRunner(t, harness.Options{Workers: 4})
+	defer r.Close()
+
+	first := r.Table1(sc, benches, workload.Mixes()[:1])
+	afterFirst := r.Stats()
+	if afterFirst.Executed == 0 {
+		t.Fatal("cold run executed nothing")
+	}
+
+	second := r.Table1(sc, benches, workload.Mixes()[:1])
+	afterSecond := r.Stats()
+	if got := afterSecond.Executed - afterFirst.Executed; got != 0 {
+		t.Fatalf("warm rerun executed %d simulations, want 0", got)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("warm rerun returned different rows")
+	}
+
+	// Figure 6 at tiny scale enumerates 2 intervals × 2 benches × 5 runs
+	// (baseline, HyBP, Flush, Flush-ctx, Partition) = 20 points, but the
+	// baseline and Flush runs at the default interval (4 points) were
+	// already computed for Table I's Flush column and must be reused.
+	r.Fig6(sc, benches)
+	afterFig6 := r.Stats()
+	if got := afterFig6.Executed - afterSecond.Executed; got != 16 {
+		t.Fatalf("Fig6 executed %d new simulations, want 16 (4 shared with Table1)", got)
+	}
+}
+
+// TestDiskCacheResumeSim proves pipeline results survive the JSON round
+// trip through -cachedir: a fresh runner over a warm directory resolves
+// every point from disk, executes nothing, and reproduces the rows.
+func TestDiskCacheResumeSim(t *testing.T) {
+	sc := tiny()
+	dir := t.TempDir()
+	bench := []string{"gcc"}
+
+	r1 := newTestRunner(t, harness.Options{Workers: 2, CacheDir: dir})
+	cold := r1.Fig5(sc, bench)
+	r1.Close()
+	if st := r1.Stats(); st.Executed == 0 || st.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	r2 := newTestRunner(t, harness.Options{Workers: 2, CacheDir: dir})
+	warm := r2.Fig5(sc, bench)
+	r2.Close()
+	if st := r2.Stats(); st.Executed != 0 || st.DiskHits == 0 {
+		t.Fatalf("resumed stats = %+v, want all disk hits", st)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("resumed rows differ:\n%+v\nvs\n%+v", cold, warm)
+	}
+}
+
+// TestMechSpecKeys pins the variant knobs into distinct cache identities.
+func TestMechSpecKeys(t *testing.T) {
+	plain := Mech(MechFlush)
+	ctx := Mech(MechFlush)
+	ctx.FlushCtxOnly = true
+	if harness.Hash(plain) == harness.Hash(ctx) {
+		t.Fatal("Flush and Flush-ctx share a content address")
+	}
+	r0 := Mech(MechReplication)
+	r0.ReplFactor = 0
+	if harness.Hash(Mech(MechReplication)) == harness.Hash(r0) {
+		t.Fatal("Replication 1.0x and 0x share a content address")
+	}
+	k := Mech(MechHyBP)
+	k.KeysEntries = 4096
+	if harness.Hash(Mech(MechHyBP)) == harness.Hash(k) {
+		t.Fatal("HyBP default and 4K keys share a content address")
+	}
+}

@@ -103,80 +103,6 @@ func partnerOf(bench string) workload.Profile {
 	return workload.Get("gcc")
 }
 
-// runSingle measures one benchmark on one BPU in single-thread mode with
-// context switching.
-func runSingle(bench string, bpu secure.BPU, interval uint64, sc Scale) pipeline.ThreadResult {
-	s := pipeline.New(pipeline.Config{
-		Core: pipeline.DefaultCoreConfig(),
-		BPU:  bpu,
-		Threads: []pipeline.ThreadSpec{{
-			Workload:      workload.Get(bench),
-			OtherWorkload: partnerOf(bench),
-			Seed:          sc.Seed ^ hash(bench),
-		}},
-		SwitchInterval: interval,
-		MaxCycles:      sc.MaxCycles,
-		WarmupCycles:   sc.WarmupCycles,
-	})
-	return s.Run().Threads[0]
-}
-
-// runSingleCore is runSingle with an explicit core config (Figure 2's
-// front-end sweep).
-func runSingleCore(bench string, bpu secure.BPU, interval uint64, core pipeline.CoreConfig, sc Scale) pipeline.ThreadResult {
-	s := pipeline.New(pipeline.Config{
-		Core: core,
-		BPU:  bpu,
-		Threads: []pipeline.ThreadSpec{{
-			Workload:      workload.Get(bench),
-			OtherWorkload: partnerOf(bench),
-			Seed:          sc.Seed ^ hash(bench),
-		}},
-		SwitchInterval: interval,
-		MaxCycles:      sc.MaxCycles,
-		WarmupCycles:   sc.WarmupCycles,
-	})
-	return s.Run().Threads[0]
-}
-
-// runSMT measures one Table V mix on one BPU (SMT-2, both threads
-// measured, context switching on both).
-func runSMT(mix workload.Mix, bpu secure.BPU, interval uint64, sc Scale) pipeline.Result {
-	s := pipeline.New(pipeline.Config{
-		Core: pipeline.DefaultCoreConfig(),
-		BPU:  bpu,
-		Threads: []pipeline.ThreadSpec{
-			{Workload: workload.Get(mix.A), OtherWorkload: partnerOf(mix.A), Seed: sc.Seed ^ hash(mix.A)},
-			{Workload: workload.Get(mix.B), OtherWorkload: partnerOf(mix.B), Seed: sc.Seed ^ hash(mix.B) ^ 0xF00},
-		},
-		SwitchInterval: interval,
-		MaxCycles:      sc.MaxCycles,
-		WarmupCycles:   sc.WarmupCycles,
-	})
-	return s.Run()
-}
-
-// runSolo measures one benchmark alone (no partner, no switches) on a
-// mechanism — the Hmean denominator.
-func runSolo(bench string, bpu secure.BPU, sc Scale) pipeline.ThreadResult {
-	s := pipeline.New(pipeline.Config{
-		Core:         pipeline.DefaultCoreConfig(),
-		BPU:          bpu,
-		Threads:      []pipeline.ThreadSpec{{Workload: workload.Get(bench), Seed: sc.Seed ^ hash(bench)}},
-		MaxCycles:    sc.MaxCycles,
-		WarmupCycles: sc.WarmupCycles,
-	})
-	return s.Run().Threads[0]
-}
-
-func hash(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * 1099511628211
-	}
-	return h
-}
-
 // degradation computes the percentage IPC loss of mech vs base.
 func degradation(base, mech pipeline.ThreadResult) float64 {
 	return metrics.DegradationPercent(base.IPC(), mech.IPC())
