@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench record
+.PHONY: ci vet build test race bench record serve loadtest
 
 # ci is the full gate: static checks, build, the whole test suite, and a
 # race-detector pass over the concurrent packages (the harness worker pool
@@ -19,10 +19,21 @@ test:
 # race runs the race detector where concurrency lives. The sim package is
 # raced with -short: its harness-integration tests (runner_test.go) always
 # run and exercise the worker pool; the slow single-threaded shape tests
-# add nothing under the detector.
+# add nothing under the detector. The server and client packages are raced
+# in full — the client test suite hammers one server with concurrent
+# closed-loop clients, which is exactly what the detector should watch.
 race:
 	$(GO) test -race ./internal/harness/...
 	$(GO) test -race -short ./internal/sim/...
+	$(GO) test -race ./internal/server/...
+
+# serve runs the simulation daemon with a local cache directory.
+serve:
+	$(GO) run ./cmd/hybpd -addr :8080 -cachedir .hybpd-cache
+
+# loadtest drives the service benchmark against a running `make serve`.
+loadtest:
+	$(GO) run ./cmd/hybpload -addr http://127.0.0.1:8080 -clients 8 -n 64
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run NONE .

@@ -1,0 +1,136 @@
+// Command hybpd serves HyBP simulations over HTTP: a simulation-as-a-service
+// daemon where clients POST simulation or experiment configs to /v1/jobs,
+// poll GET /v1/jobs/{id}, or stream live progress over Server-Sent Events
+// at /v1/jobs/{id}/events. Identical configs from different clients dedupe
+// through the harness content-addressed key, and with -cachedir warm
+// results return without executing a single simulation — across restarts.
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a job (202 admitted, 200 deduped,
+//	                          429 + Retry-After on a full queue)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/events SSE progress stream
+//	GET  /metrics             expvar counters + latency histogram
+//	GET  /healthz, /readyz    probes (readyz goes 503 while draining)
+//
+// SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
+// in-flight jobs run to completion (up to -drain), then the listener
+// closes.
+//
+// Example:
+//
+//	hybpd -addr :8080 -cachedir /var/cache/hybpd &
+//	curl -s localhost:8080/v1/jobs -d '{"sim":{"bench":"gcc","mech":"hybp"}}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -N localhost:8080/v1/jobs/<id>/events
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hybp/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cachedir", "", "on-disk result cache directory (shared with hybpexp -cachedir)")
+		jobs     = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		workers  = flag.Int("workers", 0, "concurrent jobs (default max(2, NumCPU))")
+		queue    = flag.Int("queue", 64, "admission queue capacity; overflow answers 429 + Retry-After")
+		jobTO    = flag.Duration("jobtimeout", 15*time.Minute, "per-job execution timeout")
+		reqTO    = flag.Duration("reqtimeout", 30*time.Second, "per-request timeout for non-streaming endpoints")
+		drain    = flag.Duration("drain", 60*time.Second, "graceful shutdown drain deadline")
+		progress = flag.Duration("progressinterval", time.Second, "SSE progress event pacing")
+		quiet    = flag.Bool("quiet", false, "suppress per-job logging")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	s, err := server.New(server.Config{
+		QueueSize:        *queue,
+		Workers:          *workers,
+		HarnessWorkers:   *jobs,
+		CacheDir:         *cacheDir,
+		JobTimeout:       *jobTO,
+		ProgressInterval: *progress,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
+		os.Exit(1)
+	}
+	// Publish the metrics snapshot into the process-global expvar registry
+	// too, so /debug/vars-style tooling sees the same counters /metrics
+	// serves.
+	expvar.Publish("hybpd", expvar.Func(func() any { return s.Metrics() }))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           withRequestTimeout(s.Handler(), *reqTO),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	done := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		log.Printf("hybpd: %s received, draining (deadline %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("hybpd: drain: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("hybpd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("hybpd: listening on %s (queue %d, %d sim workers, cachedir %q)",
+		*addr, *queue, *jobs, *cacheDir)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Printf("hybpd: drained; final stats: %s", s.Stats())
+}
+
+// withRequestTimeout bounds every non-streaming request; the SSE endpoint
+// is exempt (streams are bounded by client disconnect or server drain).
+func withRequestTimeout(h http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return h
+	}
+	timed := http.TimeoutHandler(h, d, `{"error":"request timed out"}`)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isSSE(r) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		timed.ServeHTTP(w, r)
+	})
+}
+
+func isSSE(r *http.Request) bool {
+	p := r.URL.Path
+	const suffix = "/events"
+	return len(p) >= len(suffix) && p[len(p)-len(suffix):] == suffix
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,13 +35,6 @@ import (
 
 const usage = "usage: hybpexp [flags] table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|brb|seeds|cost|all"
 
-// allExperiments is what `all` expands to — every dispatchable experiment,
-// including the `brb` comparison and the `seeds` noise-floor sweep.
-var allExperiments = []string{
-	"table1", "table3", "table6", "fig2", "fig5", "fig6", "fig7", "fig8",
-	"tournament", "brb", "seeds", "cost",
-}
-
 func main() {
 	var (
 		scaleName = flag.String("scale", "medium", "experiment scale: quick|medium|full")
@@ -57,16 +51,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var sc sim.Scale
-	switch *scaleName {
-	case "quick":
-		sc = sim.Quick()
-	case "medium":
-		sc = sim.Medium()
-	case "full":
-		sc = sim.Full()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+	sc, err := sim.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	sc.Seed = *seed
@@ -110,6 +97,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
+	// Validate every requested experiment before running any: an unknown
+	// name at position five must not cost four experiments of wall clock.
+	var names []string
+	for _, name := range flag.Args() {
+		if name == "all" {
+			names = append(names, sim.ExperimentNames()...)
+			continue
+		}
+		if !sim.ValidExperiment(name) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s, all)\n",
+				name, strings.Join(sim.ExperimentNames(), ", "))
+			os.Exit(2)
+		}
+		names = append(names, name)
+	}
 
 	var progw io.Writer
 	if *progress {
@@ -123,45 +125,22 @@ func main() {
 	r := sim.NewRunner(h)
 	defer r.Close()
 
-	enc := json.NewEncoder(os.Stdout)
+	// Buffer stdout but flush after every experiment: streaming consumers
+	// (hybpd tailing a child run, tail -f, a pipe into jq) must see each
+	// JSON line — and each table — the moment it is complete, not when the
+	// process exits.
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
 
 	run := func(name string) {
 		start := time.Now()
 		if !*jsonOut {
-			fmt.Printf("=== %s (scale %s, %d apps, %d mixes, -j %d) ===\n", name, *scaleName, len(benches), len(mixes), *jobs)
+			fmt.Fprintf(out, "=== %s (scale %s, %d apps, %d mixes, -j %d) ===\n", name, *scaleName, len(benches), len(mixes), *jobs)
 		}
-		var res printer
-		switch name {
-		case "table1":
-			res = r.Table1(sc, benches, mixes)
-		case "table3":
-			res = sim.Table3(sim.Table3Config{Iterations: 200, Seed: sc.Seed})
-		case "table6":
-			res = r.Table6(sc, cap4(benches), nil)
-		case "fig2":
-			res = r.Fig2(sc, benches)
-		case "fig5":
-			res = r.Fig5(sc, benches)
-		case "fig6":
-			res = r.Fig6(sc, benches)
-		case "fig7":
-			res = r.Fig7(sc, mixes)
-		case "fig8":
-			m8 := mixes
-			if len(m8) > 3 {
-				m8 = m8[:3]
-			}
-			res = r.Fig8(sc, m8, []float64{0, 0.5, 1.0, 2.4, 3.0})
-		case "tournament":
-			res = r.Tournament(sc, benches)
-		case "brb":
-			res = r.BRBComparison(sc, cap4(benches))
-		case "seeds":
-			res = r.MultiSeed(sc, benches[0], 5)
-		case "cost":
-			res = costResult{sim.HardwareCost(sc.Seed)}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n%s\n", name, usage)
+		res, err := r.Experiment(name, sc, benches, mixes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n%s\n", err, usage)
 			os.Exit(2)
 		}
 		if *jsonOut {
@@ -175,48 +154,35 @@ func main() {
 				fmt.Fprintf(os.Stderr, "json: %v\n", err)
 				os.Exit(1)
 			}
+			flush(out)
 			return
 		}
-		res.Print(os.Stdout)
-		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		res.Print(out)
+		fmt.Fprintf(out, "(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		flush(out)
 	}
 
-	for _, name := range flag.Args() {
-		if name == "all" {
-			for _, n := range allExperiments {
-				run(n)
-			}
-			continue
-		}
+	for _, name := range names {
 		run(name)
 	}
 }
 
-// printer is what every experiment result knows how to do.
-type printer interface{ Print(w io.Writer) }
+// flush forwards buffered output immediately; a failed flush (closed pipe)
+// is fatal rather than silent.
+func flush(out *bufio.Writer) {
+	if err := out.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "stdout: %v\n", err)
+		os.Exit(1)
+	}
+}
 
 // jsonRecord is one -json output line (JSON-lines framing: one experiment
-// per line, so a partial run is still parseable).
+// per line, so a partial run is still parseable; each line is flushed as
+// it is produced).
 type jsonRecord struct {
 	Experiment string  `json:"experiment"`
 	Scale      string  `json:"scale"`
 	Seed       uint64  `json:"seed"`
 	Seconds    float64 `json:"seconds"`
 	Result     any     `json:"result"`
-}
-
-// costResult adapts the hardware-cost report to the printer interface.
-type costResult struct {
-	sim.CostResult
-}
-
-func (c costResult) Print(w io.Writer) { sim.PrintCost(w, c.CostResult) }
-
-// cap4 limits a benchmark list to four entries (the sweep experiments
-// whose cost is quadratic in scope).
-func cap4(bs []string) []string {
-	if len(bs) > 4 {
-		return bs[:4]
-	}
-	return bs
 }

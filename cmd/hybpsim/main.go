@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"hybp"
+	"hybp/internal/workload"
 )
 
 func main() {
@@ -38,6 +39,26 @@ func main() {
 		sort.Strings(names)
 		fmt.Println(strings.Join(names, "\n"))
 		return
+	}
+
+	// Validate every name-shaped flag up front with a one-line error that
+	// lists the valid values, instead of panicking deep inside the
+	// workload registry or mechanism dispatch.
+	for _, b := range []struct{ flag, val string }{{"-bench", *bench}, {"-bench2", *bench2}} {
+		if b.val != "" && !workload.Has(b.val) {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q for %s (valid: %s)\n",
+				b.val, b.flag, strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *bench == "" {
+		fmt.Fprintf(os.Stderr, "-bench is required (valid: %s)\n", strings.Join(workload.Names(), ", "))
+		os.Exit(2)
+	}
+	mechID := hybp.Mechanism(*mech)
+	if !validMech(mechID) {
+		fmt.Fprintf(os.Stderr, "unknown mechanism %q for -mech (valid: %s)\n", *mech, mechList())
+		os.Exit(2)
 	}
 
 	threads := []hybp.ThreadSpec{{
@@ -71,18 +92,6 @@ func main() {
 		})
 	}
 
-	mechID := hybp.Mechanism(*mech)
-	found := false
-	for _, m := range hybp.Mechanisms() {
-		if m == mechID {
-			found = true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown mechanism %q\n", *mech)
-		os.Exit(2)
-	}
-
 	base := run(hybp.Baseline)
 	res := base
 	if mechID != hybp.Baseline {
@@ -105,4 +114,22 @@ func partner(bench string) string {
 		return "perlbench"
 	}
 	return "gcc"
+}
+
+func validMech(id hybp.Mechanism) bool {
+	for _, m := range hybp.Mechanisms() {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func mechList() string {
+	ms := hybp.Mechanisms()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = string(m)
+	}
+	return strings.Join(out, ", ")
 }

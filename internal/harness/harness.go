@@ -37,16 +37,22 @@ type Options struct {
 	ProgressInterval time.Duration
 }
 
-// Stats is a snapshot of a Runner's counters.
+// Stats is a snapshot of a Runner's counters. It is the one source of
+// truth for job accounting: the progress reporter, hybpexp's -progress
+// line, and hybpd's /metrics endpoint all read this snapshot rather than
+// keeping counters of their own. The JSON field names are a stable wire
+// format (hybpd serves them verbatim).
 type Stats struct {
 	// Submitted counts Submit calls; Deduped counts the subset that were
 	// coalesced onto an already-known job key.
-	Submitted, Deduped uint64
+	Submitted uint64 `json:"submitted"`
+	Deduped   uint64 `json:"deduped"`
 	// Executed counts jobs computed by running their function; DiskHits
 	// counts jobs satisfied from the on-disk cache instead.
-	Executed, DiskHits uint64
+	Executed uint64 `json:"executed"`
+	DiskHits uint64 `json:"disk_hits"`
 	// Completed counts resolved jobs (executed or disk-hit).
-	Completed uint64
+	Completed uint64 `json:"completed"`
 }
 
 // Unique is the number of distinct job keys accepted.

@@ -1,0 +1,286 @@
+// Package client is the Go client for the hybpd simulation service: job
+// submission with automatic 429 backoff honoring Retry-After, result
+// polling, and SSE progress streaming with a polling fallback.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"hybp/internal/server"
+)
+
+// Client talks to one hybpd base URL. The zero retry/poll settings take
+// the documented defaults; HTTPClient defaults to a fresh http.Client
+// without a global timeout (SSE streams outlive any fixed deadline — use
+// contexts to bound individual calls).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (httptest servers inject theirs).
+	HTTPClient *http.Client
+	// Retry429 is how many times Submit retries a 429 before giving up
+	// (default 8). Each retry sleeps the server's Retry-After.
+	Retry429 int
+	// PollInterval paces Wait's polling fallback (default 200ms).
+	PollInterval time.Duration
+}
+
+// New builds a client for the base URL.
+func New(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+// APIError is any non-2xx response.
+type APIError struct {
+	Status int
+	// RetryAfter is the server's backoff hint on 429, zero otherwise.
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
+}
+
+// IsRetryable reports whether the error is a 429 admission rejection.
+func (e *APIError) IsRetryable() bool { return e.Status == http.StatusTooManyRequests }
+
+func decodeError(resp *http.Response) error {
+	var body server.ErrorBody
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	apiErr := &APIError{Status: resp.StatusCode, Message: msg}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return apiErr
+}
+
+// Submit POSTs a job config. On 429 it sleeps the server's Retry-After and
+// retries up to Retry429 times, so a closed-loop caller cooperates with
+// the server's backpressure instead of hammering it. The returned info's
+// Deduped field reports whether the config coalesced onto an existing job.
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
+	retries := c.Retry429
+	if retries <= 0 {
+		retries = 8
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		ji, err := c.submitOnce(ctx, req)
+		if err == nil {
+			return ji, nil
+		}
+		lastErr = err
+		apiErr, ok := err.(*APIError)
+		if !ok || !apiErr.IsRetryable() {
+			return server.JobInfo{}, err
+		}
+		backoff := apiErr.RetryAfter
+		if backoff <= 0 {
+			backoff = time.Second
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return server.JobInfo{}, ctx.Err()
+		}
+	}
+	return server.JobInfo{}, fmt.Errorf("submit: gave up after %d retries: %w", retries, lastErr)
+}
+
+func (c *Client) submitOnce(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
+	var ji server.JobInfo
+	b, err := json.Marshal(req)
+	if err != nil {
+		return ji, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(b))
+	if err != nil {
+		return ji, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return ji, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return ji, decodeError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ji)
+	return ji, err
+}
+
+// Get fetches one job, result included once done.
+func (c *Client) Get(ctx context.Context, id string) (server.JobInfo, error) {
+	var ji server.JobInfo
+	err := c.getJSON(ctx, "/v1/jobs/"+id, &ji)
+	return ji, err
+}
+
+// List fetches the job index (no result payloads).
+func (c *Client) List(ctx context.Context) ([]server.JobInfo, error) {
+	var list server.JobList
+	err := c.getJSON(ctx, "/v1/jobs", &list)
+	return list.Jobs, err
+}
+
+// Metrics fetches the server's observability snapshot.
+func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
+	var m server.MetricsSnapshot
+	err := c.getJSON(ctx, "/metrics", &m)
+	return m, err
+}
+
+// Ready probes /readyz.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.getJSON(ctx, "/readyz", nil)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Stream subscribes to a job's SSE feed and calls fn for every event,
+// starting from the beginning of the job's log (or after lastSeq when
+// >= 0, via Last-Event-ID). It returns when fn returns false, the stream
+// ends, or ctx is done.
+func (c *Client) Stream(ctx context.Context, id string, lastSeq int, fn func(server.Event) bool) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	if lastSeq >= 0 {
+		hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				var ev server.Event
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return fmt.Errorf("bad SSE payload: %w", err)
+				}
+				data.Reset()
+				if !fn(ev) {
+					return nil
+				}
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// info. It prefers the SSE stream (live, ordered); if streaming fails or
+// ends without a terminal event — e.g. across a server drain — it falls
+// back to polling.
+func (c *Client) Wait(ctx context.Context, id string) (server.JobInfo, error) {
+	var final server.JobInfo
+	got := false
+	err := c.Stream(ctx, id, -1, func(ev server.Event) bool {
+		if ev.Job.Terminal() {
+			final, got = ev.Job, true
+			return false
+		}
+		return true
+	})
+	if got {
+		return final, nil
+	}
+	if err != nil && ctx.Err() != nil {
+		return server.JobInfo{}, err
+	}
+	// Polling fallback.
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	for {
+		ji, err := c.Get(ctx, id)
+		if err != nil {
+			return server.JobInfo{}, err
+		}
+		if ji.Terminal() {
+			return ji, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return server.JobInfo{}, ctx.Err()
+		}
+	}
+}
+
+// Run is Submit followed by Wait.
+func (c *Client) Run(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
+	ji, err := c.Submit(ctx, req)
+	if err != nil {
+		return server.JobInfo{}, err
+	}
+	if ji.Terminal() {
+		return ji, nil
+	}
+	// A deduped submission may omit the result payload freshness; Wait
+	// fetches the terminal state either way.
+	final, err := c.Wait(ctx, ji.ID)
+	if err != nil {
+		return server.JobInfo{}, err
+	}
+	return final, nil
+}

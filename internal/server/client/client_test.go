@@ -1,0 +1,291 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hybp/internal/server"
+)
+
+// tinySim is a sub-100ms simulation point: large enough to exercise the
+// whole pipeline, small enough that end-to-end tests stay fast.
+func tinySim(bench, mech string) server.JobRequest {
+	return server.JobRequest{Sim: &server.SimRequest{
+		Bench:    bench,
+		Mech:     mech,
+		Cycles:   300_000,
+		Warmup:   50_000,
+		Interval: 100_000,
+	}}
+}
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	return s, c
+}
+
+func TestEndToEndSimJob(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ji, err := c.Run(ctx, tinySim("gcc", "hybp"))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ji.Status != server.StatusDone {
+		t.Fatalf("status = %s (err %q)", ji.Status, ji.Error)
+	}
+	var res server.SimJobResult
+	if err := json.Unmarshal(ji.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Mechanism != "hybp" || len(res.Threads) != 1 || res.Threads[0].Bench != "gcc" {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.ThroughputIPC <= 0 || res.BaselineThroughputIPC <= 0 {
+		t.Fatalf("non-positive IPC: %+v", res)
+	}
+	// A secure mechanism cannot beat the unprotected baseline by much;
+	// sanity-bound the degradation either way.
+	if res.DegradationPct < -50 || res.DegradationPct > 90 {
+		t.Fatalf("implausible degradation %f", res.DegradationPct)
+	}
+}
+
+func TestEndToEndExperimentJob(t *testing.T) {
+	_, c := startServer(t, server.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	ji, err := c.Run(ctx, server.JobRequest{Experiment: &server.ExperimentRequest{
+		Name:   "cost",
+		Scale:  "quick",
+		NBench: 1,
+	}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ji.Status != server.StatusDone {
+		t.Fatalf("status = %s (err %q)", ji.Status, ji.Error)
+	}
+	if len(ji.Result) == 0 {
+		t.Fatal("empty experiment result")
+	}
+}
+
+// TestSSEEventOrdering asserts the event contract: dense increasing seqs,
+// queued before running before done, result only on the terminal event —
+// both for a live subscriber and for one that attaches after completion.
+func TestSSEEventOrdering(t *testing.T) {
+	_, c := startServer(t, server.Config{ProgressInterval: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	ji, err := c.Submit(ctx, tinySim("xz", "flush"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	checkOrder := func(events []server.Event) {
+		t.Helper()
+		if len(events) < 3 {
+			t.Fatalf("only %d events", len(events))
+		}
+		for i, ev := range events {
+			if ev.Seq != i {
+				t.Fatalf("seq gap: event %d has seq %d", i, ev.Seq)
+			}
+		}
+		if events[0].Type != server.StatusQueued {
+			t.Fatalf("first event %q, want queued", events[0].Type)
+		}
+		if events[1].Type != server.StatusRunning {
+			t.Fatalf("second event %q, want running", events[1].Type)
+		}
+		for _, ev := range events[2 : len(events)-1] {
+			if ev.Type != "progress" {
+				t.Fatalf("middle event %q, want progress", ev.Type)
+			}
+			if ev.Progress == nil {
+				t.Fatal("progress event without payload")
+			}
+		}
+		last := events[len(events)-1]
+		if last.Type != server.StatusDone {
+			t.Fatalf("last event %q, want done", last.Type)
+		}
+		if len(last.Job.Result) == 0 {
+			t.Fatal("terminal event missing result")
+		}
+	}
+
+	var live []server.Event
+	if err := c.Stream(ctx, ji.ID, -1, func(ev server.Event) bool {
+		live = append(live, ev)
+		return !ev.Job.Terminal()
+	}); err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	checkOrder(live)
+
+	// A late subscriber replays the identical log.
+	var replay []server.Event
+	if err := c.Stream(ctx, ji.ID, -1, func(ev server.Event) bool {
+		replay = append(replay, ev)
+		return !ev.Job.Terminal()
+	}); err != nil {
+		t.Fatalf("replay Stream: %v", err)
+	}
+	checkOrder(replay)
+	if len(replay) != len(live) {
+		t.Fatalf("replay %d events, live %d", len(replay), len(live))
+	}
+	// Resuming mid-log skips what was already seen.
+	var tail []server.Event
+	if err := c.Stream(ctx, ji.ID, 1, func(ev server.Event) bool {
+		tail = append(tail, ev)
+		return !ev.Job.Terminal()
+	}); err != nil {
+		t.Fatalf("resume Stream: %v", err)
+	}
+	if len(tail) == 0 || tail[0].Seq != 2 {
+		t.Fatalf("resume from seq 1 started at %+v", tail)
+	}
+}
+
+// TestDedupAndWarmCache exercises the service's two cache layers: identical
+// configs dedupe in-process (executed < submitted), and a server restarted
+// on the same cache directory serves everything from disk without running
+// one simulation.
+func TestDedupAndWarmCache(t *testing.T) {
+	cacheDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	pool := []server.JobRequest{
+		tinySim("gcc", "hybp"),
+		tinySim("gcc", "flush"),
+		tinySim("xz", "hybp"),
+	}
+	run := func(c *Client) {
+		t.Helper()
+		for round := 0; round < 2; round++ {
+			for _, req := range pool {
+				ji, err := c.Run(ctx, req)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if ji.Status != server.StatusDone {
+					t.Fatalf("status %s (%s)", ji.Status, ji.Error)
+				}
+			}
+		}
+	}
+
+	s1, c1 := startServer(t, server.Config{CacheDir: cacheDir})
+	run(c1)
+	m1, err := c1.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 submissions of 3 distinct configs: the second round dedupes
+	// entirely at the job level.
+	if m1.Server.JobsSubmitted != 6 || m1.Server.JobsDeduped != 3 {
+		t.Fatalf("server counters = %+v", m1.Server)
+	}
+	// Each sim job runs mechanism + baseline, and the baselines of
+	// gcc-hybp and gcc-flush are the same point: 6 harness submits, 5
+	// unique, 5 executed.
+	h := m1.Harness
+	if h.Executed >= h.Submitted {
+		t.Fatalf("no harness dedup: %+v", h)
+	}
+	if h.Executed != 5 || h.DiskHits != 0 {
+		t.Fatalf("cold-run harness = %+v", h)
+	}
+	s1.Close()
+
+	// Same cache directory, fresh process state: warm cache, zero sims.
+	_, c2 := startServer(t, server.Config{CacheDir: cacheDir})
+	run(c2)
+	m2, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Harness.Executed != 0 {
+		t.Fatalf("warm rerun executed %d sims, want 0 (%+v)", m2.Harness.Executed, m2.Harness)
+	}
+	if m2.Harness.DiskHits != 5 {
+		t.Fatalf("warm rerun disk hits = %d, want 5", m2.Harness.DiskHits)
+	}
+}
+
+// TestConcurrentClientsHammer drives many concurrent closed-loop clients
+// over a small config pool against one server — the -race target for the
+// whole submit/dedupe/SSE/metrics surface.
+func TestConcurrentClientsHammer(t *testing.T) {
+	_, c := startServer(t, server.Config{QueueSize: 4, Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	benches := []string{"gcc", "xz", "leela", "imagick"}
+	mechs := []string{"hybp", "flush"}
+	const clients, jobsPerClient = 8, 4
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*jobsPerClient)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerClient; i++ {
+				k := w*jobsPerClient + i
+				// Decorrelated indices: k sweeps all bench x mech combos.
+				req := tinySim(benches[k%len(benches)], mechs[(k/len(benches))%len(mechs)])
+				ji, err := c.Run(ctx, req)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d job %d: %w", w, i, err)
+					continue
+				}
+				if ji.Status != server.StatusDone {
+					errCh <- fmt.Errorf("client %d job %d: status %s (%s)", w, i, ji.Status, ji.Error)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Server.JobsSubmitted < clients*jobsPerClient {
+		t.Fatalf("submitted %d < %d issued", m.Server.JobsSubmitted, clients*jobsPerClient)
+	}
+	// 32 submissions over 8 distinct configs must dedupe.
+	if m.Server.JobsDeduped == 0 {
+		t.Fatalf("no dedup across concurrent clients: %+v", m.Server)
+	}
+	if m.Harness.Executed >= m.Harness.Submitted {
+		t.Fatalf("harness executed everything submitted: %+v", m.Harness)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Job is one admitted, content-addressed unit of work. Its lifecycle is an
+// append-only event log (queued → running → progress* → done|failed); the
+// SSE handler replays the log and then follows live appends, so every
+// subscriber — however late — observes the same strictly ordered stream.
+type Job struct {
+	id  string
+	key string
+	req JobRequest
+
+	mu      sync.Mutex
+	info    JobInfo
+	events  []Event
+	nextSeq int
+	// updated is closed and replaced on every append; waiters re-arm by
+	// re-reading it under the lock.
+	updated chan struct{}
+}
+
+func newJob(id, key string, req JobRequest) *Job {
+	j := &Job{
+		id:      id,
+		key:     key,
+		req:     req,
+		updated: make(chan struct{}),
+	}
+	j.info = JobInfo{
+		ID:        id,
+		Key:       key,
+		Kind:      req.Kind,
+		Status:    StatusQueued,
+		Submits:   1,
+		CreatedMS: nowMS(),
+	}
+	j.appendLocked(StatusQueued, nil)
+	return j
+}
+
+func nowMS() int64 { return time.Now().UnixMilli() }
+
+// Info snapshots the job for API responses.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Summary is Info without the (possibly large) result payload — what the
+// jobs list returns.
+func (j *Job) Summary() JobInfo {
+	ji := j.Info()
+	ji.Result = nil
+	return ji
+}
+
+// resubmit records that another POST mapped onto this job.
+func (j *Job) resubmit() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Submits++
+	ji := j.info
+	ji.Deduped = true
+	return ji
+}
+
+// start transitions queued → running.
+func (j *Job) start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Status = StatusRunning
+	j.info.StartedMS = nowMS()
+	j.appendLocked(StatusRunning, nil)
+}
+
+// progress emits a live progress event; it is a no-op once terminal.
+func (j *Job) progress(p ProgressInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.Status != StatusRunning {
+		return
+	}
+	j.appendLocked("progress", &p)
+}
+
+// finish resolves the job with a result or an error.
+func (j *Job) finish(result json.RawMessage, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.FinishedMS = nowMS()
+	if err != nil {
+		j.info.Status = StatusFailed
+		j.info.Error = err.Error()
+		j.appendLocked(StatusFailed, nil)
+		return
+	}
+	j.info.Status = StatusDone
+	j.info.Result = result
+	j.appendLocked(StatusDone, nil)
+}
+
+// appendLocked appends an event snapshot and wakes every waiter. Progress
+// snapshots omit the result payload (it does not exist yet); terminal
+// events carry it so an SSE consumer needs no follow-up GET.
+func (j *Job) appendLocked(typ string, p *ProgressInfo) {
+	ev := Event{Seq: j.nextSeq, Type: typ, Job: j.info, Progress: p}
+	j.nextSeq++
+	j.events = append(j.events, ev)
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// eventsSince returns the events after seq (i.e. with Seq > seq), plus a
+// channel that is closed when more arrive and whether the log is terminal.
+// The returned slice is safe to read: events are immutable once appended.
+func (j *Job) eventsSince(seq int) (evs []Event, more <-chan struct{}, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Seq values are dense (0,1,2,...), so the slice index is seq+1.
+	if from := seq + 1; from < len(j.events) {
+		evs = j.events[from:]
+	}
+	return evs, j.updated, j.info.Status == StatusDone || j.info.Status == StatusFailed
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"sync/atomic"
+)
+
+// latencyBoundsMS are the cumulative histogram bucket upper bounds for job
+// submit→finish latency, in milliseconds. The spread covers instant
+// cache hits (1ms) through full-scale experiment runs (minutes).
+var latencyBoundsMS = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000,
+}
+
+// metrics aggregates the server's observability state: expvar counters for
+// admissions and outcomes plus a fixed-bucket latency histogram. The
+// counters are expvar types held per-Server (not published to the global
+// expvar registry, which would collide across httptest instances); hybpd
+// publishes the snapshot function once at startup.
+type metrics struct {
+	submitted, deduped, rejected expvar.Int
+	completed, failed, running   expvar.Int
+
+	latCount atomic.Int64
+	latSumMS atomic.Int64 // integer milliseconds; enough resolution for a sum
+	latBkts  []atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{latBkts: make([]atomic.Int64, len(latencyBoundsMS)+1)}
+}
+
+// observeLatency records one job's submit→finish latency.
+func (m *metrics) observeLatency(ms int64) {
+	m.latCount.Add(1)
+	m.latSumMS.Add(ms)
+	for i, le := range latencyBoundsMS {
+		if float64(ms) <= le {
+			m.latBkts[i].Add(1)
+			return
+		}
+	}
+	m.latBkts[len(latencyBoundsMS)].Add(1)
+}
+
+// latency snapshots the histogram in cumulative (Prometheus-style) form.
+func (m *metrics) latency() LatencySnapshot {
+	snap := LatencySnapshot{
+		Count:   m.latCount.Load(),
+		SumMS:   float64(m.latSumMS.Load()),
+		Buckets: make([]LatencyBucket, 0, len(m.latBkts)),
+	}
+	cum := int64(0)
+	for i, le := range latencyBoundsMS {
+		cum += m.latBkts[i].Load()
+		snap.Buckets = append(snap.Buckets, LatencyBucket{LE: fmt.Sprintf("%g", le), Count: cum})
+	}
+	cum += m.latBkts[len(latencyBoundsMS)].Load()
+	snap.Buckets = append(snap.Buckets, LatencyBucket{LE: "+Inf", Count: cum})
+	return snap
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"hybp/internal/harness"
+	"hybp/internal/sim"
+)
+
+// Config parameterizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// QueueSize bounds the admission queue; a full queue answers
+	// 429 + Retry-After instead of accepting unbounded work (default 64).
+	QueueSize int
+	// Workers is the number of concurrent jobs (default NumCPU, min 2).
+	// Actual simulation concurrency is bounded by HarnessWorkers; job
+	// workers mostly block on harness futures.
+	Workers int
+	// HarnessWorkers bounds concurrent simulations (default NumCPU).
+	HarnessWorkers int
+	// CacheDir enables the shared on-disk result cache: warm jobs return
+	// without executing any simulation, across restarts.
+	CacheDir string
+	// JobTimeout fails a job still running after this long (default 15m).
+	JobTimeout time.Duration
+	// ProgressInterval paces SSE progress events (default 1s).
+	ProgressInterval time.Duration
+	// Logf, when set, receives one line per admission/completion.
+	Logf func(format string, args ...any)
+
+	// execOverride replaces job execution in tests.
+	execOverride func(j *Job) (any, error)
+}
+
+// Server owns the job store, the bounded admission queue, the worker pool,
+// and the shared sim.Runner every job executes on.
+type Server struct {
+	cfg Config
+	har *harness.Runner
+	sim *sim.Runner
+	met *metrics
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by id
+	order    []string        // admission order, for the jobs list
+	queue    chan *Job
+	draining bool
+
+	workers sync.WaitGroup
+	// closing is closed when Drain begins; SSE handlers and progress
+	// tickers select on it so Shutdown is never blocked by a live stream.
+	closing chan struct{}
+}
+
+// New builds a Server and starts its workers. Close (or Drain) releases it.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = max(2, runtime.NumCPU())
+	}
+	if cfg.HarnessWorkers <= 0 {
+		cfg.HarnessWorkers = runtime.NumCPU()
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 15 * time.Minute
+	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	har, err := harness.New(harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		har:     har,
+		sim:     sim.NewRunner(har),
+		met:     newMetrics(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueSize),
+		closing: make(chan struct{}),
+	}
+	s.mux = s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.workerLoop()
+	}
+	return s, nil
+}
+
+// Handler is the server's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats exposes the shared harness counters (one source of truth with
+// hybpexp's -progress line).
+func (s *Server) Stats() harness.Stats { return s.har.Stats() }
+
+// Metrics snapshots the full observability state.
+func (s *Server) Metrics() MetricsSnapshot {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Server: ServerCounters{
+			JobsSubmitted: s.met.submitted.Value(),
+			JobsDeduped:   s.met.deduped.Value(),
+			JobsRejected:  s.met.rejected.Value(),
+			JobsCompleted: s.met.completed.Value(),
+			JobsFailed:    s.met.failed.Value(),
+			JobsRunning:   s.met.running.Value(),
+			QueueDepth:    len(s.queue),
+			QueueCapacity: cap(s.queue),
+			Draining:      draining,
+		},
+		Harness:      s.har.Stats(),
+		JobLatencyMS: s.met.latency(),
+	}
+}
+
+// Drain gracefully shuts the job side down: admissions stop (POST answers
+// 503, /readyz goes unready), queued and in-flight jobs run to completion,
+// live SSE streams are released. It returns ctx.Err() if the drain deadline
+// passes first. Call before http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers drain the backlog, then exit
+		close(s.closing)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.har.Close()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains with a generous deadline; for tests and defer use.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs: validate and canonicalize the config,
+// dedupe through the content-addressed key, and either admit (202), attach
+// to an existing job (200), reject on a full queue (429 + Retry-After), or
+// refuse while draining (503).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	canon, key, err := normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := jobID(key)
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.met.submitted.Add(1)
+		s.met.deduped.Add(1)
+		ji := j.resubmit()
+		s.cfg.Logf("dedup %s -> %s (%d submits)", key, id, ji.Submits)
+		writeJSON(w, http.StatusOK, ji)
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	j := newJob(id, key, canon)
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.met.submitted.Add(1)
+		s.cfg.Logf("admit %s (%s), queue %d/%d", id, key, len(s.queue), cap(s.queue))
+		w.Header().Set("Location", "/v1/jobs/"+id)
+		writeJSON(w, http.StatusAccepted, j.Info())
+	default:
+		s.mu.Unlock()
+		s.met.submitted.Add(1)
+		s.met.rejected.Add(1)
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"admission queue full (%d jobs); retry after %ds", cap(s.queue), retry)
+	}
+}
+
+// retryAfterSeconds estimates when queue space should free up: the backlog
+// ahead of a new job divided by the worker count, floored at one second.
+func (s *Server) retryAfterSeconds() int {
+	est := 1 + len(s.queue)/s.cfg.Workers
+	if est > 30 {
+		est = 30
+	}
+	return est
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	list := JobList{Jobs: make([]JobInfo, 0, len(jobs))}
+	for _, j := range jobs {
+		list.Jobs = append(list.Jobs, j.Summary())
+	}
+	sort.SliceStable(list.Jobs, func(i, k int) bool {
+		return list.Jobs[i].CreatedMS < list.Jobs[k].CreatedMS
+	})
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream.
+// The full event log is replayed first (resumable via Last-Event-ID), then
+// live events follow; the stream ends after the terminal event, on client
+// disconnect, or when the server drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	last := -1
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if n, err := strconv.Atoi(lei); err == nil {
+			last = n
+		}
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		evs, more, terminal := j.eventsSince(last)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			last = ev.Seq
+		}
+		fl.Flush()
+		if terminal {
+			return
+		}
+		select {
+		case <-more:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+	}
+}
+
+// workerLoop pulls admitted jobs until the queue is closed and drained.
+func (s *Server) workerLoop() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job: running-state transition, paced progress events,
+// execution with a timeout, latency accounting, terminal event.
+func (s *Server) runJob(j *Job) {
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+	j.start()
+
+	stopProgress := make(chan struct{})
+	var progressDone sync.WaitGroup
+	progressDone.Add(1)
+	go func() {
+		defer progressDone.Done()
+		t := time.NewTicker(s.cfg.ProgressInterval)
+		defer t.Stop()
+		started := time.Now()
+		for {
+			select {
+			case <-t.C:
+				j.progress(ProgressInfo{
+					ElapsedMS: time.Since(started).Milliseconds(),
+					Harness:   s.har.Stats(),
+				})
+			case <-stopProgress:
+				return
+			}
+		}
+	}()
+
+	type outcome struct {
+		raw json.RawMessage
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		v, err := s.execute(j)
+		if err != nil {
+			resCh <- outcome{err: err}
+			return
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			resCh <- outcome{err: fmt.Errorf("marshal result: %w", err)}
+			return
+		}
+		resCh <- outcome{raw: raw}
+	}()
+
+	var out outcome
+	select {
+	case out = <-resCh:
+	case <-time.After(s.cfg.JobTimeout):
+		out = outcome{err: fmt.Errorf("job timed out after %s", s.cfg.JobTimeout)}
+	}
+	close(stopProgress)
+	progressDone.Wait()
+
+	j.finish(out.raw, out.err)
+	ji := j.Info()
+	s.met.observeLatency(ji.FinishedMS - ji.CreatedMS)
+	if out.err != nil {
+		s.met.failed.Add(1)
+		s.cfg.Logf("fail %s: %v", j.id, out.err)
+		return
+	}
+	s.met.completed.Add(1)
+	s.cfg.Logf("done %s in %dms", j.id, ji.FinishedMS-ji.CreatedMS)
+}
+
+// execute maps a normalized request to the sim runner.
+func (s *Server) execute(j *Job) (any, error) {
+	if s.cfg.execOverride != nil {
+		return s.cfg.execOverride(j)
+	}
+	switch j.req.Kind {
+	case KindSim:
+		return s.executeSim(*j.req.Sim)
+	case KindExperiment:
+		e := *j.req.Experiment
+		return s.sim.Experiment(e.Name, e.scale(), capBenches(e.NBench), capMixes(e.NMix))
+	}
+	return nil, fmt.Errorf("unknown job kind %q", j.req.Kind)
+}

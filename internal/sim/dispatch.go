@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hybp/internal/workload"
+)
+
+// This file is the name-based experiment dispatcher shared by cmd/hybpexp
+// and the hybpd HTTP API: one table of experiment names, one scale parser,
+// and one Runner.Experiment entry point, so every front end validates and
+// runs experiments identically.
+
+// Printable is what every experiment result knows how to do: render itself
+// as the paper's table or figure rows.
+type Printable interface{ Print(w io.Writer) }
+
+// ExperimentNames lists the dispatchable experiments in canonical order —
+// the order `hybpexp all` runs them.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table3", "table6", "fig2", "fig5", "fig6", "fig7", "fig8",
+		"tournament", "brb", "seeds", "cost",
+	}
+}
+
+// ValidExperiment reports whether name dispatches.
+func ValidExperiment(name string) bool {
+	for _, n := range ExperimentNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleNames lists the scale presets ParseScale accepts.
+func ScaleNames() []string { return []string{"quick", "medium", "full"} }
+
+// ParseScale resolves a preset name to its Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick(), nil
+	case "medium":
+		return Medium(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Scale{}, fmt.Errorf("unknown scale %q (valid: %s)", name, strings.Join(ScaleNames(), ", "))
+}
+
+// MechanismIDs lists the defense mechanisms single-point simulations accept.
+func MechanismIDs() []MechanismID {
+	return []MechanismID{MechBaseline, MechFlush, MechPartition, MechReplication, MechBRB, MechHyBP}
+}
+
+// ValidMechanism reports whether id names a defense mechanism.
+func ValidMechanism(id MechanismID) bool {
+	for _, m := range MechanismIDs() {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchNames returns the sorted benchmark names a dispatch front end should
+// print in "valid values" errors.
+func BenchNames() []string { return workload.Names() }
+
+// Experiment runs one named experiment on the Runner with the front ends'
+// shared per-experiment defaults (Table III's 200 iterations, Figure 8's
+// overhead sweep, the quadratic sweeps' four-benchmark cap). nil benches
+// and mixes select the paper's full sets. Unknown names are an error, not
+// a panic, so servers can surface them to remote clients.
+func (r *Runner) Experiment(name string, sc Scale, benches []string, mixes []workload.Mix) (Printable, error) {
+	if len(benches) == 0 {
+		benches = workload.FigureApps()
+	}
+	if len(mixes) == 0 {
+		mixes = workload.Mixes()
+	}
+	switch name {
+	case "table1":
+		return r.Table1(sc, benches, mixes), nil
+	case "table3":
+		return Table3(Table3Config{Iterations: 200, Seed: sc.Seed}), nil
+	case "table6":
+		return r.Table6(sc, capN(benches, 4), nil), nil
+	case "fig2":
+		return r.Fig2(sc, benches), nil
+	case "fig5":
+		return r.Fig5(sc, benches), nil
+	case "fig6":
+		return r.Fig6(sc, benches), nil
+	case "fig7":
+		return r.Fig7(sc, mixes), nil
+	case "fig8":
+		return r.Fig8(sc, capN(mixes, 3), []float64{0, 0.5, 1.0, 2.4, 3.0}), nil
+	case "tournament":
+		return r.Tournament(sc, benches), nil
+	case "brb":
+		return r.BRBComparison(sc, capN(benches, 4)), nil
+	case "seeds":
+		return r.MultiSeed(sc, benches[0], 5), nil
+	case "cost":
+		return costPrintable{HardwareCost(sc.Seed)}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(ExperimentNames(), ", "))
+}
+
+// costPrintable adapts the hardware-cost report to Printable. The
+// CostResult stays embedded untagged so the JSON shape matches what the
+// pre-dispatcher hybpexp -json emitted.
+type costPrintable struct {
+	CostResult
+}
+
+func (c costPrintable) Print(w io.Writer) { PrintCost(w, c.CostResult) }
+
+// capN limits the sweep experiments whose cost is quadratic in scope.
+func capN[T any](xs []T, n int) []T {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

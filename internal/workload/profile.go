@@ -13,7 +13,11 @@
 // randomized key changes hurt exactly as much as a flush of one's own state.
 package workload
 
-import "hybp/internal/keys"
+import (
+	"sort"
+
+	"hybp/internal/keys"
+)
 
 // ILPClass buckets benchmarks the way the paper's Table V does.
 type ILPClass int
@@ -110,6 +114,25 @@ func Profiles() map[string]Profile {
 		m[p.Name] = p
 	}
 	return m
+}
+
+// Has reports whether a benchmark profile exists, letting CLIs and servers
+// validate names up front instead of panicking deep inside Get.
+func Has(name string) bool {
+	_, ok := Profiles()[name]
+	return ok
+}
+
+// Names returns every benchmark name in sorted order — the list "valid
+// values" error messages print.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, 0, len(ps))
+	for name := range ps {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Get returns a named profile; it panics on unknown names so experiment
