@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench record serve loadtest
+# Pre-optimization reference measurements (this machine, quick scale,
+# seed 2022, -j 1, cold cache): recorded in BENCH_PR3.json so the report
+# always carries its own before/after. Override when re-baselining.
+BASELINE_COLD ?= 385
+BASELINE_STEP ?= 1661
+BASELINE_NOTE ?= pre-optimization main, hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-# ci is the full gate: static checks, build, the whole test suite, and a
+.PHONY: ci vet build test race bench benchsmoke record serve loadtest
+
+# ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
-# and the experiments that drive it).
-ci: vet build test race
+# and the experiments that drive it), and a 1-iteration benchmark smoke so
+# the perf-tracking layer can't rot unnoticed.
+ci: vet build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -35,8 +43,18 @@ serve:
 loadtest:
 	$(GO) run ./cmd/hybpload -addr http://127.0.0.1:8080 -clients 8 -n 64
 
+# bench regenerates BENCH_PR3.json: full micro-benchmarks plus a timed
+# cold/warm `hybpexp -scale quick all` run with an output digest. Takes
+# minutes; run on an otherwise idle machine or the wall-clock is noise.
 bench:
-	$(GO) test -bench . -benchtime 1x -run NONE .
+	$(GO) run ./cmd/hybpbench -out BENCH_PR3.json \
+	    -baseline-cold $(BASELINE_COLD) -baseline-step $(BASELINE_STEP) \
+	    -baseline-note "$(BASELINE_NOTE)"
+
+# benchsmoke compiles and runs every benchmark for exactly one iteration
+# and skips the experiment timing — the cheap CI gate.
+benchsmoke:
+	$(GO) run ./cmd/hybpbench -smoke
 
 # record regenerates the EXPERIMENTS.md reference run.
 record:

@@ -1,0 +1,265 @@
+// Command hybpbench is the repo's perf-tracking harness: it runs the
+// per-package micro-benchmarks plus a timed cold (and optionally warm)
+// `hybpexp -scale quick all` run and emits a machine-readable JSON report
+// (BENCH_PR3.json) so performance across PRs is a recorded artifact, not
+// folklore.
+//
+// Modes:
+//
+//	hybpbench -out BENCH_PR3.json            full run: benchmarks at -benchtime,
+//	                                         then cold+warm hybpexp wall-clock
+//	hybpbench -smoke                         1-iteration benchmarks only, no
+//	                                         experiment timing (the CI gate that
+//	                                         keeps bench code from rotting)
+//
+// The experiment run is content-hashed (FNV-1a over the JSON output with
+// the wall-clock "seconds" fields stripped), so two reports are
+// bit-identical iff their digests match — the guard the PR-3 optimization
+// work was measured against.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchPackages are the packages whose benchmarks feed the report; they
+// cover every layer of the per-cycle hot path.
+var benchPackages = []string{
+	"./internal/tage",
+	"./internal/btb",
+	"./internal/secure",
+	"./internal/pipeline",
+	"./internal/keys",
+	"./internal/cipher",
+	"./internal/workload",
+}
+
+// report is the BENCH_*.json schema.
+type report struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOARCH      string       `json:"goarch"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	Experiment  *expTiming   `json:"experiment,omitempty"`
+	Baseline    *baseline    `json:"baseline,omitempty"`
+}
+
+type benchEntry struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type expTiming struct {
+	Command      string  `json:"command"`
+	ColdSeconds  float64 `json:"cold_seconds"`
+	WarmSeconds  float64 `json:"warm_seconds,omitempty"`
+	JobsExecuted int64   `json:"jobs_executed"`
+	JobsTotal    int64   `json:"jobs_submitted"`
+	OutputFNV    string  `json:"output_fnv"`
+}
+
+// baseline records the pre-optimization measurements the current numbers
+// are compared against; values come from flags (the Makefile pins the
+// seed-commit measurements).
+type baseline struct {
+	ColdSeconds float64 `json:"cold_seconds,omitempty"`
+	StepNsPerOp float64 `json:"step_ns_per_op,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR3.json", "output report path")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime per benchmark")
+		smoke     = flag.Bool("smoke", false, "1-iteration benchmarks, skip experiment timing, discard the report (CI mode)")
+		skipExp   = flag.Bool("skipexp", false, "skip the timed hybpexp run (benchmarks only)")
+		scale     = flag.String("scale", "quick", "experiment scale for the timed run")
+		seed      = flag.Uint64("seed", 2022, "experiment seed")
+		baseCold  = flag.Float64("baseline-cold", 0, "recorded pre-optimization cold-run seconds (annotates the report)")
+		baseStep  = flag.Float64("baseline-step", 0, "recorded pre-optimization pipeline-step ns/op")
+		baseNote  = flag.String("baseline-note", "", "provenance note for the baseline numbers")
+	)
+	flag.Parse()
+
+	bt := *benchtime
+	if *smoke {
+		bt = "1x"
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOARCH:      runtime.GOARCH,
+	}
+	if *baseCold > 0 || *baseStep > 0 {
+		rep.Baseline = &baseline{ColdSeconds: *baseCold, StepNsPerOp: *baseStep, Note: *baseNote}
+	}
+
+	for _, pkg := range benchPackages {
+		entries, err := runBench(pkg, bt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybpbench: %s: %v\n", pkg, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entries...)
+	}
+	fmt.Fprintf(os.Stderr, "hybpbench: %d benchmarks across %d packages\n",
+		len(rep.Benchmarks), len(benchPackages))
+
+	if !*smoke && !*skipExp {
+		et, err := runExperiment(*scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybpbench: experiment: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Experiment = et
+	}
+
+	if *smoke {
+		fmt.Fprintln(os.Stderr, "hybpbench: smoke OK (report discarded)")
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "hybpbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hybpbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hybpbench: wrote %s\n", *out)
+}
+
+// benchLine matches `BenchmarkX-8  123  456 ns/op  7 B/op  8 allocs/op`
+// (the -cpu suffix and the B/op / allocs/op fields are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// runBench executes one package's benchmarks and parses the results.
+func runBench(pkg, benchtime string) ([]benchEntry, error) {
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", ".",
+		"-benchtime", benchtime, "-benchmem", pkg)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%v\n%s%s", err, outBuf.String(), errBuf.String())
+	}
+	var entries []benchEntry
+	sc := bufio.NewScanner(&outBuf)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := benchEntry{Package: strings.TrimPrefix(pkg, "./"), Name: m[1]}
+		e.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			e.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			e.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// secondsField strips the wall-clock field from hybpexp -json lines so the
+// digest covers only simulation results.
+var secondsField = regexp.MustCompile(`"seconds":[0-9.eE+-]+,`)
+
+// statsLine matches the final `-stats` record on stderr.
+var statsLine = regexp.MustCompile(`\{"stats":.*\}`)
+
+// runExperiment builds hybpexp, times a cold `-j 1` run (no cache) and a
+// warm re-run against a fresh cache directory, and digests the output.
+func runExperiment(scale string, seed uint64) (*expTiming, error) {
+	tmp, err := os.MkdirTemp("", "hybpbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "hybpexp")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/hybpexp").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("build: %v\n%s", err, out)
+	}
+
+	args := []string{
+		"-scale", scale, "-seed", strconv.FormatUint(seed, 10),
+		"-j", "1", "-progress=false", "-json", "-stats",
+	}
+	et := &expTiming{Command: "hybpexp " + strings.Join(args, " ") + " all"}
+
+	// Cold: no cache directory, every job simulates.
+	coldOut, coldErr, coldDur, err := timedRun(bin, append(args, "all")...)
+	if err != nil {
+		return nil, fmt.Errorf("cold run: %v\n%s", err, coldErr)
+	}
+	et.ColdSeconds = coldDur.Seconds()
+	norm := secondsField.ReplaceAll(coldOut, nil)
+	h := fnv.New64a()
+	h.Write(norm)
+	et.OutputFNV = fmt.Sprintf("%016x", h.Sum64())
+	if m := statsLine.Find(coldErr); m != nil {
+		var rec struct {
+			Stats struct {
+				Submitted int64 `json:"submitted"`
+				Executed  int64 `json:"executed"`
+			} `json:"stats"`
+		}
+		if json.Unmarshal(m, &rec) == nil {
+			et.JobsExecuted = rec.Stats.Executed
+			et.JobsTotal = rec.Stats.Submitted
+		}
+	}
+
+	// Warm: populate a cache dir, then re-run against it.
+	cacheDir := filepath.Join(tmp, "cache")
+	warmArgs := append(args, "-cachedir", cacheDir, "all")
+	if _, e, _, err := timedRun(bin, warmArgs...); err != nil {
+		return nil, fmt.Errorf("cache-fill run: %v\n%s", err, e)
+	}
+	warmOut, warmErr, warmDur, err := timedRun(bin, warmArgs...)
+	if err != nil {
+		return nil, fmt.Errorf("warm run: %v\n%s", err, warmErr)
+	}
+	et.WarmSeconds = warmDur.Seconds()
+	if !bytes.Equal(secondsField.ReplaceAll(warmOut, nil), norm) {
+		return nil, fmt.Errorf("warm-cache output differs from cold output (cache corruption?)")
+	}
+	return et, nil
+}
+
+func timedRun(bin string, args ...string) (stdout, stderr []byte, d time.Duration, err error) {
+	cmd := exec.Command(bin, args...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	t0 := time.Now()
+	err = cmd.Run()
+	return outBuf.Bytes(), errBuf.Bytes(), time.Since(t0), err
+}

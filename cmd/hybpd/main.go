@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,6 +56,7 @@ func main() {
 		drain    = flag.Duration("drain", 60*time.Second, "graceful shutdown drain deadline")
 		progress = flag.Duration("progressinterval", time.Second, "SSE progress event pacing")
 		quiet    = flag.Bool("quiet", false, "suppress per-job logging")
+		debug    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off production surfaces by default)")
 	)
 	flag.Parse()
 
@@ -80,9 +82,23 @@ func main() {
 	// serves.
 	expvar.Publish("hybpd", expvar.Func(func() any { return s.Metrics() }))
 
+	handler := withRequestTimeout(s.Handler(), *reqTO)
+	if *debug {
+		// The profiling mux mounts outside the request-timeout wrapper: a
+		// 30-second CPU profile is supposed to outlive -reqtimeout.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("hybpd: pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           withRequestTimeout(s.Handler(), *reqTO),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -48,8 +49,41 @@ func main() {
 		cacheDir  = flag.String("cachedir", "", "on-disk result cache directory (dedupes across runs; makes interrupted runs resumable)")
 		progress  = flag.Bool("progress", true, "report job progress (done/total, cache hits, ETA) to stderr")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
+		stats     = flag.Bool("stats", false, "emit a final harness-stats record (jobs submitted/deduped/executed) to stderr as JSON")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sc, err := sim.ParseScale(*scaleName)
 	if err != nil {
@@ -164,6 +198,15 @@ func main() {
 
 	for _, name := range names {
 		run(name)
+	}
+	if *stats {
+		// One parseable line on stderr (stdout carries results): the bench
+		// harness reads jobs submitted/deduped/executed from here.
+		if err := json.NewEncoder(os.Stderr).Encode(struct {
+			Stats harness.Stats `json:"stats"`
+		}{h.Stats()}); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		}
 	}
 }
 

@@ -139,6 +139,11 @@ func main() {
 		sd.JobsDeduped-before.Server.JobsDeduped, dedups.Load())
 	fmt.Printf("harness this run: %d sim jobs submitted, %d deduped, %d executed, %d disk-cache hits\n",
 		hd.Submitted, hd.Deduped, hd.Executed, hd.DiskHits)
+	// Simulator-side speed, distinct from request throughput: a dedup- or
+	// cache-served run can post high jobs/s while simulating nothing.
+	simCycles := after.SimulatedCycles - before.SimulatedCycles
+	fmt.Printf("simulator this run: %.1f Mcycles simulated (%.1f Mcycles/s core speed)\n",
+		float64(simCycles)/1e6, float64(simCycles)/1e6/elapsed.Seconds())
 	switch {
 	case hd.Executed == 0 && okCount.Load() > 0:
 		fmt.Printf("warm cache: every result served without executing a simulation\n")

@@ -1,0 +1,20 @@
+package cipher
+
+import "testing"
+
+var allocSink uint64
+
+// TestEncryptZeroAllocs pins Qarma.Encrypt allocation-free: the tweak
+// schedule must use fixed scratch, not a fresh slice per call. A code-book
+// refresh runs 257 encryptions, and HyBP refreshes on every context switch.
+func TestEncryptZeroAllocs(t *testing.T) {
+	q := NewQarma([2]uint64{0x84BE85CE9804E94B, 0xEC2802D4E0A488E9})
+	i := uint64(0)
+	avg := testing.AllocsPerRun(4096, func() {
+		allocSink ^= q.Encrypt(i, i*0x9E3779B97F4A7C15)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Encrypt allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -16,6 +16,7 @@ type Qarma struct {
 	w0, w1 uint64 // whitening keys
 	k0, k1 uint64 // core keys
 	rounds int
+	tks    [8]uint64 // tweak-schedule scratch; rounds ≤ 8, reused per call
 }
 
 // QarmaRounds is the default number of forward (and backward) rounds,
@@ -135,10 +136,12 @@ func (q *Qarma) core(x, tweak uint64, alphaF, alphaB, wIn, wOut uint64) uint64 {
 	return s ^ wOut
 }
 
-// tweakSchedule expands the tweak for each forward round; the backward
-// rounds reuse the same schedule in reverse.
+// tweakSchedule expands the tweak for each forward round into the
+// instance's scratch array (a Qarma is single-context, like the hardware
+// engine it models — calls must not be concurrent); the backward rounds
+// reuse the same schedule in reverse.
 func (q *Qarma) tweakSchedule(tweak uint64) []uint64 {
-	tks := make([]uint64, q.rounds)
+	tks := q.tks[:q.rounds]
 	tk := tweak
 	for i := range tks {
 		tks[i] = tk

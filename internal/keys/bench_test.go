@@ -1,0 +1,37 @@
+package keys
+
+import (
+	"testing"
+)
+
+// TestKeyZeroAllocs pins the prediction-path reads allocation-free: Key,
+// KeyStale, and NoteAccess run once or twice per BPU access.
+func TestKeyZeroAllocs(t *testing.T) {
+	tab := NewTable(DefaultConfig(7))
+	tab.Refresh(1000)
+	i := uint64(0)
+	avg := testing.AllocsPerRun(8192, func() {
+		tab.Key(i*64, i)
+		tab.KeyStale(i*64, i)
+		tab.NoteAccess()
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Key/KeyStale/NoteAccess allocate %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestRefreshZeroAllocs pins the refresh path allocation-free too: it runs
+// on every context switch, so per-refresh garbage would dominate
+// switch-heavy sweeps (Fig 7/8).
+func TestRefreshZeroAllocs(t *testing.T) {
+	tab := NewTable(DefaultConfig(7))
+	i := uint64(1)
+	avg := testing.AllocsPerRun(256, func() {
+		tab.Refresh(i * 4_000_000)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Refresh allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -30,25 +30,37 @@ func (p Privilege) String() string {
 // tables (Section VI-C: "BTB and PHT can share the random tables without
 // security degradation").
 type Manager struct {
-	cfg    Config
-	tables map[ContextID]*Table
+	cfg Config
+	// tables is indexed by thread<<1 | priv — dense and tiny (4 entries
+	// for SMT-2), so the per-access table resolution is an indexed load
+	// rather than a map probe. Slots are created on first use.
+	tables []*Table
 }
 
 // NewManager builds a Manager that lazily creates per-context tables from
 // cfg (each with a seed perturbed by the context identity).
 func NewManager(cfg Config) *Manager {
-	return &Manager{cfg: cfg, tables: make(map[ContextID]*Table)}
+	return &Manager{cfg: cfg}
 }
+
+func (id ContextID) slot() int { return int(id.Thread)<<1 | int(id.Priv&1) }
 
 // Table returns the keys table for id, creating it on first use.
 func (m *Manager) Table(id ContextID) *Table {
-	if t, ok := m.tables[id]; ok {
-		return t
+	s := id.slot()
+	if s < len(m.tables) {
+		if t := m.tables[s]; t != nil {
+			return t
+		}
+	} else {
+		grown := make([]*Table, s+1)
+		copy(grown, m.tables)
+		m.tables = grown
 	}
 	cfg := m.cfg
 	cfg.Seed ^= (uint64(id.Thread)+1)<<20 ^ (uint64(id.Priv)+1)<<8 ^ 0x9E37
 	t := NewTable(cfg)
-	m.tables[id] = t
+	m.tables[s] = t
 	return t
 }
 
@@ -57,7 +69,7 @@ func (m *Manager) Table(id ContextID) *Table {
 // Per the paper, key changes ride on context switches because the interval
 // (≥4 ms, 2^24+ cycles) is comfortably below the 2^27-access attack bound.
 func (m *Manager) OnContextSwitch(thread uint8, asid, vmid uint16, now uint64) {
-	for _, priv := range []Privilege{User, Kernel} {
+	for priv := User; priv <= Kernel; priv++ {
 		t := m.Table(ContextID{Thread: thread, Priv: priv})
 		t.Bind(asid, vmid)
 		t.Refresh(now)
@@ -87,7 +99,9 @@ func (m *Manager) StorageBits(threads int) int {
 func (m *Manager) TotalRefreshes() uint64 {
 	var n uint64
 	for _, t := range m.tables {
-		n += t.Refreshes()
+		if t != nil {
+			n += t.Refreshes()
+		}
 	}
 	return n
 }

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"testing"
+
+	"hybp/internal/secure"
+	"hybp/internal/workload"
+)
+
+func benchSim(threads int, bpu secure.BPU) *Sim {
+	cfg := Config{
+		Core: DefaultCoreConfig(),
+		BPU:  bpu,
+		Threads: []ThreadSpec{{
+			Workload:      workload.Get("gcc"),
+			OtherWorkload: workload.Get("mcf"),
+			Seed:          7,
+		}},
+		SwitchInterval: 4_000_000,
+		MaxCycles:      1 << 62, // never ends; benchmarks drive step directly
+	}
+	if threads == 2 {
+		cfg.Threads = append(cfg.Threads, ThreadSpec{
+			Workload:      workload.Get("xz"),
+			OtherWorkload: workload.Get("leela"),
+			Seed:          8,
+		})
+	}
+	return New(cfg)
+}
+
+// BenchmarkStepHyBP times one branch event through the whole stack —
+// scheduler checks, workload synthesis, HyBP access, cycle accounting —
+// the simulator's end-to-end unit of work.
+func BenchmarkStepHyBP(b *testing.B) {
+	s := benchSim(1, secure.NewHyBP(secure.Config{Threads: 1, Seed: 7}))
+	ts := s.threads[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(ts)
+	}
+}
+
+// BenchmarkStepBaselineSMT covers the two-thread path with SMT dilation.
+func BenchmarkStepBaselineSMT(b *testing.B) {
+	s := benchSim(2, secure.NewBaseline(secure.Config{Threads: 2, Seed: 7}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(s.threads[i&1])
+	}
+}
+
+// TestStepZeroAllocsFastPath pins the steady-state step fast path (no
+// context switch, no timer burst in the window) allocation-free: the
+// simulator must not generate garbage per simulated branch.
+func TestStepZeroAllocsFastPath(t *testing.T) {
+	cfg := Config{
+		Core: DefaultCoreConfig(),
+		BPU:  secure.NewHyBP(secure.Config{Threads: 1, Seed: 7}),
+		Threads: []ThreadSpec{{
+			Workload: workload.Get("gcc"),
+			Seed:     7,
+		}},
+		MaxCycles: 1 << 62,
+	}
+	cfg.Core.TimerTickCycles = 0 // bursts allocate by design; excluded from the fast path
+	s := New(cfg)
+	ts := s.threads[0]
+	for i := 0; i < 50_000; i++ {
+		s.step(ts)
+	}
+	avg := testing.AllocsPerRun(20_000, func() { s.step(ts) })
+	if avg != 0 {
+		t.Fatalf("pipeline.step allocates %.4f objects/op on the fast path, want 0", avg)
+	}
+}

@@ -15,10 +15,22 @@
 package pipeline
 
 import (
+	"sync/atomic"
+
 	"hybp/internal/keys"
 	"hybp/internal/secure"
 	"hybp/internal/workload"
 )
+
+// totalCycles accumulates virtual cycles across every Sim.Run in the
+// process (updated once per run, not per step). hybpd exports it via
+// /metrics so load tests can report simulator-side cycles/sec alongside
+// request throughput.
+var totalCycles atomic.Uint64
+
+// TotalSimulatedCycles returns the cumulative virtual cycles simulated by
+// completed Run calls in this process.
+func TotalSimulatedCycles() uint64 { return totalCycles.Load() }
 
 // CoreConfig parameterizes the timing model.
 type CoreConfig struct {
@@ -150,6 +162,7 @@ type threadState struct {
 	genA      workload.Source // measured workload
 	genB      workload.Source // alternate context (nil if none)
 	onA       bool
+	idx       uint8 // this thread's index in Sim.threads, hoisted off the step path
 	asidA     uint16
 	asidB     uint16
 	priv      keys.Privilege
@@ -158,6 +171,11 @@ type threadState struct {
 	nextSlice uint64 // next context-switch boundary
 	nextTick  uint64 // next timer interrupt
 	pending   []workload.Event
+
+	// baseCPI caches gen.Profile().BaseCPI; Profile() returns a struct
+	// (with a string header) per call, too heavy for once per branch. It
+	// is refreshed whenever gen changes (context switches).
+	baseCPI float64
 
 	res     ThreadResult
 	measure bool
@@ -185,6 +203,7 @@ func New(cfg Config) *Sim {
 		ts := &threadState{
 			spec:  spec,
 			onA:   true,
+			idx:   uint8(i),
 			asidA: uint16(10 + i*2),
 			asidB: uint16(11 + i*2),
 		}
@@ -200,6 +219,7 @@ func New(cfg Config) *Sim {
 			ts.genB = workload.New(spec.OtherWorkload, spec.Seed^0xB)
 		}
 		ts.gen = ts.genA
+		ts.baseCPI = ts.gen.Profile().BaseCPI
 		if cfg.SwitchInterval > 0 {
 			ts.nextSlice = cfg.SwitchInterval
 		}
@@ -222,9 +242,12 @@ func (s *Sim) Run() Result {
 		s.step(ts)
 	}
 	res := Result{}
+	var simulated uint64
 	for _, ts := range s.threads {
 		res.Threads = append(res.Threads, ts.res)
+		simulated += ts.cycles
 	}
+	totalCycles.Add(simulated)
 	return res
 }
 
@@ -282,24 +305,27 @@ func (s *Sim) step(ts *threadState) {
 
 	// Privilege transition?
 	if ev.Priv != ts.priv {
-		s.cfg.BPU.OnPrivilegeChange(s.threadIndex(ts), ts.priv, ev.Priv, ts.cycles)
+		s.cfg.BPU.OnPrivilegeChange(ts.idx, ts.priv, ev.Priv, ts.cycles)
 		ts.priv = ev.Priv
 		ts.res.PrivChanges++
 	}
 
-	ctx := secure.Context{Thread: s.threadIndex(ts), Priv: ts.priv, ASID: ts.asid()}
+	ctx := secure.Context{Thread: ts.idx, Priv: ts.priv, ASID: ts.asid()}
 	res := s.cfg.BPU.Access(ctx, ev.Branch, ts.cycles)
 
-	// Cycle accounting.
+	// Cycle accounting. Single-thread runs have no co-resident demand, so
+	// skip the scan (otherDemand is 0 and dilate stays 1 by definition).
 	dilate := 1.0
-	if n := s.otherDemand(ts); n > 0 {
-		u := n / 4 // other thread's use of the shared front end (half of an 8-wide core)
-		if u > 1 {
-			u = 1
+	if len(s.threads) > 1 {
+		if n := s.otherDemand(ts); n > 0 {
+			u := n / 4 // other thread's use of the shared front end (half of an 8-wide core)
+			if u > 1 {
+				u = 1
+			}
+			dilate = 1 + s.cfg.Core.SMTContention*u
 		}
-		dilate = 1 + s.cfg.Core.SMTContention*u
 	}
-	base := ts.gen.Profile().BaseCPI
+	base := ts.baseCPI
 	cycles := float64(ev.Gap+1) * base * dilate
 
 	penalty := 0
@@ -347,15 +373,6 @@ func (s *Sim) step(ts *threadState) {
 	}
 }
 
-func (s *Sim) threadIndex(ts *threadState) uint8 {
-	for i, t := range s.threads {
-		if t == ts {
-			return uint8(i)
-		}
-	}
-	return 0
-}
-
 func (ts *threadState) asid() uint16 {
 	if ts.onA {
 		return ts.asidA
@@ -376,12 +393,13 @@ func (s *Sim) contextSwitch(ts *threadState) {
 		} else {
 			ts.gen = ts.genB
 		}
+		ts.baseCPI = ts.gen.Profile().BaseCPI
 	}
 	ts.pending = nil
 	// Return to user mode with the new context.
 	if ts.priv != keys.User {
-		s.cfg.BPU.OnPrivilegeChange(s.threadIndex(ts), ts.priv, keys.User, ts.cycles)
+		s.cfg.BPU.OnPrivilegeChange(ts.idx, ts.priv, keys.User, ts.cycles)
 		ts.priv = keys.User
 	}
-	s.cfg.BPU.OnContextSwitch(s.threadIndex(ts), ts.asid(), ts.cycles)
+	s.cfg.BPU.OnContextSwitch(ts.idx, ts.asid(), ts.cycles)
 }

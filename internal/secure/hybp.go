@@ -33,8 +33,11 @@ type HyBP struct {
 	l2     *btb.Table
 	shared *tage.Tage
 
-	// Per-(thread, privilege) private structures and hierarchy wiring.
-	privPart map[uint16]*hybpContext
+	// Per-(thread, privilege) private structures and hierarchy wiring,
+	// indexed by Context.id() (= thread<<1 | priv, dense in [0, 2*Threads)).
+	// A dense slice instead of a map keeps the per-access context fetch a
+	// single indexed load — the map hash was measurable on the hot path.
+	privPart []*hybpContext
 
 	hist *histories
 
@@ -68,7 +71,7 @@ func NewHyBP(cfg Config) *HyBP {
 		cfg:      cfg,
 		km:       keys.NewManager(cfg.Keys),
 		l2:       btb.New(g.l2),
-		privPart: make(map[uint16]*hybpContext),
+		privPart: make([]*hybpContext, cfg.Threads*2),
 	}
 	tg := g.tage
 	tg.Seed = cfg.Seed
@@ -124,18 +127,20 @@ func (h *HyBP) Access(ctx Context, br Branch, now uint64) Result {
 	hc := h.privPart[ctx.id()]
 
 	// Count the access toward the key-change threshold (speculative and
-	// non-speculative accesses both count, Section VI-C).
-	if h.km.NoteAccess(ctx.keysID(), now) {
-		// Threshold refresh fired; the flushes of private state are not
-		// required for security here (only the shared tables' keys
-		// rolled), so nothing else to do.
-		_ = hc
+	// non-speculative accesses both count, Section VI-C). hc.keys is the
+	// manager's table for this context, so the counter is bumped directly
+	// instead of re-resolving the table by ContextID per access. A
+	// threshold refresh only rolls the shared tables' keys; no private
+	// flushes are required for security here.
+	if hc.keys.NoteAccess() {
+		hc.keys.Refresh(now)
 	}
-	if hc.keys.KeyStale(br.PC, now) {
+	stale := hc.keys.KeyStale(br.PC, now)
+	if stale {
 		h.StaleKeyAccesses++
 	}
 
-	res := Result{BTBLevel: -1, DirCorrect: true, StaleKey: hc.keys.KeyStale(br.PC, now)}
+	res := Result{BTBLevel: -1, DirCorrect: true, StaleKey: stale}
 
 	if br.Kind == Cond {
 		h.shared.SetBase(hc.base)
@@ -183,9 +188,8 @@ func (h *HyBP) Access(ctx Context, br Branch, now uint64) Result {
 func (h *HyBP) OnContextSwitch(thread uint8, incoming uint16, now uint64) {
 	h.now = now
 	h.km.OnContextSwitch(thread, incoming, 0, now)
-	for _, priv := range []keys.Privilege{keys.User, keys.Kernel} {
-		ctx := Context{Thread: thread, Priv: priv}
-		hc := h.privPart[ctx.id()]
+	for priv := keys.User; priv <= keys.Kernel; priv++ {
+		hc := h.privPart[Context{Thread: thread, Priv: priv}.id()]
 		hc.l0.Flush()
 		hc.l1.Flush()
 		hc.base.Flush()

@@ -18,10 +18,13 @@ import (
 // is storage-equivalent to dividing one structure by index ranges and keeps
 // every mechanism on the same structural code path.
 type Partition struct {
-	cfg       Config
-	parts     map[uint16]*predictorSet
-	histByCtx map[uint16]*partHistory
-	base      int // baseline storage for overhead accounting
+	cfg Config
+	// parts and hists are indexed by Context.id() (dense in
+	// [0, 2*Threads)); slices keep the per-access partition fetch off the
+	// map-hash path.
+	parts []*predictorSet
+	hists []*partHistory
+	base  int // baseline storage for overhead accounting
 }
 
 // partHistory is the per-(thread, privilege) front-end state — direction
@@ -36,47 +39,43 @@ type partHistory struct {
 // threads (partitions = threads × 2 privilege levels).
 func NewPartition(cfg Config) *Partition {
 	cfg = cfg.withDefaults()
-	p := &Partition{cfg: cfg, parts: make(map[uint16]*predictorSet)}
+	p := &Partition{
+		cfg:   cfg,
+		parts: make([]*predictorSet, cfg.Threads*2),
+		hists: make([]*partHistory, cfg.Threads*2),
+	}
 	full := cfg.geometryFor()
 	frac := 1.0 / float64(cfg.Threads*2)
 	for _, ctx := range cfg.contexts() {
 		g := full.scaled(frac)
-		p.parts[ctx.id()] = newPredictorSet(g, cfg.Seed^uint64(ctx.id())<<32)
+		ps := newPredictorSet(g, cfg.Seed^uint64(ctx.id())<<32)
+		p.parts[ctx.id()] = ps
+		// Histories are built eagerly (their construction draws no
+		// randomness, so eager vs. lazy is bit-identical); separate
+		// partitions have separate TAGE geometries, so they cannot be
+		// shared across contexts.
+		p.hists[ctx.id()] = &partHistory{hs: ps.tage.NewHistory(), stack: ras.New(rasDepth)}
 	}
-	p.histByCtx = make(map[uint16]*partHistory)
 	p.base = newPredictorSet(full, cfg.Seed).storageBits()
 	return p
 }
 
-// histFor returns the per-partition history (lazily created); separate
-// partitions have separate TAGE geometries, so histories cannot be shared.
-func (p *Partition) histFor(ctx Context) *partHistory {
-	ps := p.parts[ctx.id()]
-	h, ok := p.histByCtx[ctx.id()]
-	if !ok {
-		h = &partHistory{hs: ps.tage.NewHistory(), stack: ras.New(rasDepth)}
-		p.histByCtx[ctx.id()] = h
-	}
-	return h
-}
-
 // Access implements BPU.
 func (p *Partition) Access(ctx Context, br Branch, now uint64) Result {
-	ps := p.parts[ctx.id()]
-	h := p.histFor(ctx)
-	return ps.access(br, h.hs, h.stack, ctx.id(), 0)
+	id := ctx.id()
+	h := p.hists[id]
+	return p.parts[id].access(br, h.hs, h.stack, id, 0)
 }
 
 // OnContextSwitch implements BPU: the switching thread's partitions (both
 // privilege levels) are flushed.
 func (p *Partition) OnContextSwitch(thread uint8, incoming uint16, now uint64) {
-	for _, priv := range []keys.Privilege{keys.User, keys.Kernel} {
-		ctx := Context{Thread: thread, Priv: priv}
-		p.parts[ctx.id()].flushAll()
-		if h, ok := p.histByCtx[ctx.id()]; ok {
-			h.hs.Reset()
-			h.stack.Flush()
-		}
+	for priv := keys.User; priv <= keys.Kernel; priv++ {
+		id := Context{Thread: thread, Priv: priv}.id()
+		p.parts[id].flushAll()
+		h := p.hists[id]
+		h.hs.Reset()
+		h.stack.Flush()
 	}
 }
 

@@ -15,11 +15,12 @@ import (
 // sweeps the overhead from 0 to 300% looking for the point where its
 // performance matches HyBP's (≈240% in the paper).
 type Replication struct {
-	cfg       Config
-	overhead  float64
-	parts     map[uint16]*predictorSet
-	histByCtx map[uint16]*partHistory
-	base      int
+	cfg      Config
+	overhead float64
+	// parts and hists are indexed by Context.id(), like Partition's.
+	parts []*predictorSet
+	hists []*partHistory
+	base  int
 }
 
 // NewReplication builds the mechanism with the given extra-storage
@@ -30,45 +31,38 @@ func NewReplication(cfg Config, overhead float64) *Replication {
 	}
 	cfg = cfg.withDefaults()
 	r := &Replication{
-		cfg:       cfg,
-		overhead:  overhead,
-		parts:     make(map[uint16]*predictorSet),
-		histByCtx: make(map[uint16]*partHistory),
+		cfg:      cfg,
+		overhead: overhead,
+		parts:    make([]*predictorSet, cfg.Threads*2),
+		hists:    make([]*partHistory, cfg.Threads*2),
 	}
 	full := cfg.geometryFor()
 	frac := (1 + overhead) / float64(cfg.Threads*2)
 	for _, ctx := range cfg.contexts() {
-		r.parts[ctx.id()] = newPredictorSet(full.scaled(frac), cfg.Seed^uint64(ctx.id())<<32)
+		ps := newPredictorSet(full.scaled(frac), cfg.Seed^uint64(ctx.id())<<32)
+		r.parts[ctx.id()] = ps
+		r.hists[ctx.id()] = &partHistory{hs: ps.tage.NewHistory(), stack: ras.New(rasDepth)}
 	}
 	r.base = newPredictorSet(full, cfg.Seed).storageBits()
 	return r
 }
 
-func (r *Replication) histFor(ctx Context) *partHistory {
-	h, ok := r.histByCtx[ctx.id()]
-	if !ok {
-		h = &partHistory{hs: r.parts[ctx.id()].tage.NewHistory(), stack: ras.New(rasDepth)}
-		r.histByCtx[ctx.id()] = h
-	}
-	return h
-}
-
 // Access implements BPU.
 func (r *Replication) Access(ctx Context, br Branch, now uint64) Result {
-	h := r.histFor(ctx)
-	return r.parts[ctx.id()].access(br, h.hs, h.stack, ctx.id(), 0)
+	id := ctx.id()
+	h := r.hists[id]
+	return r.parts[id].access(br, h.hs, h.stack, id, 0)
 }
 
 // OnContextSwitch implements BPU: the switching thread's replicas are
 // flushed (their content belongs to the outgoing software context).
 func (r *Replication) OnContextSwitch(thread uint8, incoming uint16, now uint64) {
-	for _, priv := range []keys.Privilege{keys.User, keys.Kernel} {
-		ctx := Context{Thread: thread, Priv: priv}
-		r.parts[ctx.id()].flushAll()
-		if h, ok := r.histByCtx[ctx.id()]; ok {
-			h.hs.Reset()
-			h.stack.Flush()
-		}
+	for priv := keys.User; priv <= keys.Kernel; priv++ {
+		id := Context{Thread: thread, Priv: priv}.id()
+		r.parts[id].flushAll()
+		h := r.hists[id]
+		h.hs.Reset()
+		h.stack.Flush()
 	}
 }
 

@@ -190,6 +190,12 @@ type MetricsSnapshot struct {
 	Server       ServerCounters  `json:"server"`
 	Harness      harness.Stats   `json:"harness"`
 	JobLatencyMS LatencySnapshot `json:"job_latency_ms"`
+	// SimulatedCycles is the cumulative virtual cycles simulated by this
+	// process (pipeline.TotalSimulatedCycles). Load tests subtract two
+	// snapshots to report simulator-side cycles/sec independently of
+	// request throughput: a warm-cache run serves jobs while this stays
+	// flat.
+	SimulatedCycles uint64 `json:"simulated_cycles"`
 }
 
 // ServerCounters are the admission-side expvar counters.

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hybp/internal/harness"
+	"hybp/internal/pipeline"
 	"hybp/internal/sim"
 )
 
@@ -126,8 +127,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 			QueueCapacity: cap(s.queue),
 			Draining:      draining,
 		},
-		Harness:      s.har.Stats(),
-		JobLatencyMS: s.met.latency(),
+		Harness:         s.har.Stats(),
+		JobLatencyMS:    s.met.latency(),
+		SimulatedCycles: pipeline.TotalSimulatedCycles(),
 	}
 }
 

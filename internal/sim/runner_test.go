@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"reflect"
 	"testing"
 
@@ -112,6 +115,52 @@ func TestDiskCacheResumeSim(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cold, warm) {
 		t.Fatalf("resumed rows differ:\n%+v\nvs\n%+v", cold, warm)
+	}
+}
+
+// goldenDigest is the FNV-1a digest of the Table I rows and Figure 6
+// points at tiny scale, seed 2022. It pins the simulator's numeric output
+// bit-for-bit: any change to RNG consumption order, float arithmetic, or
+// predictor state evolution moves it. Performance work must keep it fixed;
+// a deliberate model change updates it (rerun with -run TestGoldenDigest
+// -v and copy the printed value).
+const goldenDigest = 0xbab73f64477c81f7
+
+func TestGoldenDigest(t *testing.T) {
+	sc := tiny()
+	benches := []string{"gcc", "deepsjeng"}
+	r := newTestRunner(t, harness.Options{Workers: 4})
+	defer r.Close()
+
+	t1 := r.Table1(sc, benches, workload.Mixes()[:2])
+	f6 := r.Fig6(sc, benches)
+
+	h := fnv.New64a()
+	var buf [8]byte
+	f := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, row := range t1.Rows {
+		h.Write([]byte(row.Mechanism))
+		f(row.PerfOverhead)
+		f(row.HardwareCost)
+		h.Write([]byte(row.SingleSecure))
+		h.Write([]byte(row.SMTSecure))
+	}
+	for _, p := range f6.Points {
+		u(p.Interval)
+		f(p.HyBP)
+		f(p.Flush)
+		f(p.FlushCtxPart)
+		f(p.Partition)
+	}
+	if got := h.Sum64(); got != goldenDigest {
+		t.Errorf("golden digest = %#x, want %#x (simulation output changed bit-for-bit)", got, uint64(goldenDigest))
 	}
 }
 

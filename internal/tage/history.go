@@ -43,9 +43,16 @@ func (h *HistoryBuffer) Push(taken bool) {
 	}
 }
 
-// Bit returns the i-th most recent bit (0 = newest).
+// Bit returns the i-th most recent bit (0 = newest). i must be in
+// [0, Size()); every folded window is shorter than the buffer, so the
+// wrap never needs a full modulo (which would cost a divide on the
+// hottest path of the whole simulator).
 func (h *HistoryBuffer) Bit(i int) byte {
-	return h.bits[(h.pos+i)%h.size]
+	j := h.pos + i
+	if j >= h.size {
+		j -= h.size
+	}
+	return h.bits[j]
 }
 
 // Size returns the buffer capacity in bits.
@@ -61,35 +68,49 @@ func (h *HistoryBuffer) Reset() {
 
 // foldedHistory incrementally maintains history of length origLen folded
 // (by XOR) into compLen bits, the standard TAGE implementation trick that
-// keeps per-prediction work O(1) instead of O(history length).
+// keeps per-prediction work O(1) instead of O(history length). The fields
+// are deliberately narrow (8 bytes total): a 30-table geometry walks 90 of
+// these per branch, so they must stay resident in L1.
 type foldedHistory struct {
 	comp     uint32
-	compLen  int
-	origLen  int
-	outPoint int
+	origLen  uint16 // ≤ 640 at the paper's geometry
+	compLen  uint8  // ≤ 11 (index or tag width)
+	outPoint uint8  // < compLen
 }
 
 func newFolded(origLen, compLen int) foldedHistory {
-	return foldedHistory{compLen: compLen, origLen: origLen, outPoint: origLen % compLen}
+	return foldedHistory{
+		compLen:  uint8(compLen),
+		origLen:  uint16(origLen),
+		outPoint: uint8(origLen % compLen),
+	}
+}
+
+// shift folds in the newest history bit and folds out oldBit, the bit that
+// just fell off the end of this fold's original window. The caller reads
+// both bits from the history buffer once and feeds every fold that shares
+// the window length.
+func (f *foldedHistory) shift(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
 }
 
 // update folds in the newest bit and folds out the bit that just fell off
 // the end of the original history window. It must be called after
 // HistoryBuffer.Push with the same buffer.
 func (f *foldedHistory) update(h *HistoryBuffer) {
-	f.comp = (f.comp << 1) | uint32(h.Bit(0))
-	f.comp ^= uint32(h.Bit(f.origLen)) << uint(f.outPoint)
-	f.comp ^= f.comp >> uint(f.compLen)
-	f.comp &= (1 << uint(f.compLen)) - 1
+	f.shift(uint32(h.Bit(0)), uint32(h.Bit(int(f.origLen))))
 }
 
 // reset recomputes the fold from scratch over the buffer; used when history
 // is cleared wholesale.
 func (f *foldedHistory) reset(h *HistoryBuffer) {
 	f.comp = 0
-	for i := f.origLen - 1; i >= 0; i-- {
+	for i := int(f.origLen) - 1; i >= 0; i-- {
 		f.comp = (f.comp << 1) | uint32(h.Bit(i))
-		f.comp = (f.comp ^ (f.comp >> uint(f.compLen))) & (1<<uint(f.compLen) - 1)
+		f.comp = (f.comp ^ (f.comp >> f.compLen)) & (1<<f.compLen - 1)
 	}
 	// The incremental update and this recomputation agree on the all-zero
 	// history, which is the only state reset is used with.
@@ -109,13 +130,25 @@ type History struct {
 }
 
 // Update pushes a resolved branch outcome into the history.
+//
+// The newest bit is the outcome just pushed, shared by every fold; the
+// outgoing bit depends only on the window length, which fIdx/fTag0/fTag1
+// of the same table share — so each table costs one buffer read instead of
+// six. This loop is the hottest in the simulator (the folds are two thirds
+// of TAGE time); keep it free of bounds checks and divisions.
 func (hs *History) Update(pc uint64, taken bool) {
 	hs.ghr.Push(taken)
 	hs.path = (hs.path << 1) | ((pc >> 2) & 1)
-	for i := range hs.fIdx {
-		hs.fIdx[i].update(hs.ghr)
-		hs.fTag0[i].update(hs.ghr)
-		hs.fTag1[i].update(hs.ghr)
+	var newBit uint32
+	if taken {
+		newBit = 1
+	}
+	fIdx, fTag0, fTag1 := hs.fIdx, hs.fTag0, hs.fTag1
+	for i := range fIdx {
+		oldBit := uint32(hs.ghr.Bit(int(fIdx[i].origLen)))
+		fIdx[i].shift(newBit, oldBit)
+		fTag0[i].shift(newBit, oldBit)
+		fTag1[i].shift(newBit, oldBit)
 	}
 }
 

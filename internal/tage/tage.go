@@ -127,11 +127,12 @@ type Stats struct {
 // can physically isolate it per context; per-thread speculation history
 // lives in History values created by NewHistory.
 type Tage struct {
-	cfg    Config
-	tables [][]tagEntry
-	masks  []uint64
-	base   *Bimodal
-	xform  IndexTransform
+	cfg      Config
+	tables   [][]tagEntry
+	masks    []uint64
+	tagMasks []uint64 // 1<<TagBits - 1 per table, hoisted off the lookup path
+	base     *Bimodal
+	xform    IndexTransform
 
 	useAltOnNA int8 // 4-bit counter choosing alt prediction for fresh entries
 	tick       uint64
@@ -149,11 +150,12 @@ func New(cfg Config) *Tage {
 		panic("tage: config needs at least one tagged table")
 	}
 	t := &Tage{
-		cfg:    cfg,
-		tables: make([][]tagEntry, len(cfg.Tables)),
-		masks:  make([]uint64, len(cfg.Tables)),
-		base:   NewBimodal(cfg.BimodalEntries),
-		rand:   rng.New(cfg.Seed ^ 0x7a6e),
+		cfg:      cfg,
+		tables:   make([][]tagEntry, len(cfg.Tables)),
+		masks:    make([]uint64, len(cfg.Tables)),
+		tagMasks: make([]uint64, len(cfg.Tables)),
+		base:     NewBimodal(cfg.BimodalEntries),
+		rand:     rng.New(cfg.Seed ^ 0x7a6e),
 	}
 	for i, spec := range cfg.Tables {
 		if spec.Entries <= 0 || spec.Entries&(spec.Entries-1) != 0 {
@@ -161,6 +163,7 @@ func New(cfg Config) *Tage {
 		}
 		t.tables[i] = make([]tagEntry, spec.Entries)
 		t.masks[i] = uint64(spec.Entries - 1)
+		t.tagMasks[i] = 1<<uint(spec.TagBits) - 1
 	}
 	if cfg.UseSC {
 		t.sc = newStatCorrector(cfg.SCBiasEntries, cfg.SCGEntries)
@@ -227,15 +230,14 @@ func (t *Tage) ResetStats() { t.stats = Stats{} }
 // index computes the effective (index, tag) of pc in tagged table ti under
 // history hs, applying the injected transform.
 func (t *Tage) index(ti int, pc uint64, hs *History) (uint64, uint64) {
-	spec := t.cfg.Tables[ti]
 	idx := (pc >> 1) ^ (pc >> uint(1+ti)) ^ uint64(hs.fIdx[ti].comp) ^ (hs.path & 0x3F)
 	idx &= t.masks[ti]
 	tag := ((pc >> 1) ^ uint64(hs.fTag0[ti].comp) ^ (uint64(hs.fTag1[ti].comp) << 1)) &
-		(1<<uint(spec.TagBits) - 1)
+		t.tagMasks[ti]
 	if t.xform != nil {
 		idx, tag = t.xform(ti, pc, idx, tag)
 		idx &= t.masks[ti]
-		tag &= 1<<uint(spec.TagBits) - 1
+		tag &= t.tagMasks[ti]
 	}
 	return idx, tag
 }

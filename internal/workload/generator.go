@@ -81,9 +81,12 @@ type Generator struct {
 
 	// frames holds the return addresses of the open call frames of the
 	// current region visit; queue holds already-generated events (call
-	// prologues and return epilogues around region transitions).
+	// prologues and return epilogues around region transitions). qhead is
+	// the consumption cursor: popping by cursor instead of re-slicing keeps
+	// the backing array's capacity, so steady-state refills never allocate.
 	frames []uint64
 	queue  []Event
+	qhead  int
 
 	kernelLeft   int // instructions left in the current syscall burst
 	nextSyscall  int // instructions until the next syscall
@@ -328,9 +331,13 @@ func (g *Generator) bookkeep(ev Event) {
 // Next produces the next user-flow event (including instruction-driven
 // syscall kernel bursts and call/return frames around region visits).
 func (g *Generator) Next() Event {
-	if len(g.queue) > 0 {
-		ev := g.queue[0]
-		g.queue = g.queue[1:]
+	if g.qhead < len(g.queue) {
+		ev := g.queue[g.qhead]
+		g.qhead++
+		if g.qhead == len(g.queue) {
+			g.queue = g.queue[:0]
+			g.qhead = 0
+		}
 		return ev
 	}
 
