@@ -7,13 +7,14 @@ BASELINE_COLD ?= 385
 BASELINE_STEP ?= 1661
 BASELINE_NOTE ?= pre-optimization main, hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke record serve loadtest
+.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke
 
 # ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
-# and the experiments that drive it), and a 1-iteration benchmark smoke so
-# the perf-tracking layer can't rot unnoticed.
-ci: vet build test race benchsmoke
+# and the experiments that drive it), a 1-iteration benchmark smoke so the
+# perf-tracking layer can't rot unnoticed, and a short chaos run so the
+# self-healing path can't either.
+ci: vet build test race benchsmoke chaossmoke
 
 vet:
 	$(GO) vet ./...
@@ -31,9 +32,21 @@ test:
 # in full — the client test suite hammers one server with concurrent
 # closed-loop clients, which is exactly what the detector should watch.
 race:
+	$(GO) test -race ./internal/faults/...
 	$(GO) test -race ./internal/harness/...
 	$(GO) test -race -short ./internal/sim/...
 	$(GO) test -race ./internal/server/...
+
+# chaos is the fault-injection gate: hybpexp -scale tiny under a pinned
+# seeded fault schedule (worker panics, transient errors, cache corruption,
+# torn writes, kill-and-resume on one cache dir), asserting the healed
+# output is byte-identical to a fault-free baseline. chaossmoke is the
+# three-experiment subset ci runs.
+chaos:
+	HYBP_CHAOS=full $(GO) test ./internal/chaos/ -v -count=1 -timeout 20m
+
+chaossmoke:
+	HYBP_CHAOS=smoke $(GO) test ./internal/chaos/ -count=1 -timeout 10m
 
 # serve runs the simulation daemon with a local cache directory.
 serve:

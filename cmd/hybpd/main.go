@@ -41,28 +41,36 @@ import (
 	"syscall"
 	"time"
 
+	"hybp/internal/faults"
 	"hybp/internal/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cacheDir = flag.String("cachedir", "", "on-disk result cache directory (shared with hybpexp -cachedir)")
-		jobs     = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
-		workers  = flag.Int("workers", 0, "concurrent jobs (default max(2, NumCPU))")
-		queue    = flag.Int("queue", 64, "admission queue capacity; overflow answers 429 + Retry-After")
-		jobTO    = flag.Duration("jobtimeout", 15*time.Minute, "per-job execution timeout")
-		reqTO    = flag.Duration("reqtimeout", 30*time.Second, "per-request timeout for non-streaming endpoints")
-		drain    = flag.Duration("drain", 60*time.Second, "graceful shutdown drain deadline")
-		progress = flag.Duration("progressinterval", time.Second, "SSE progress event pacing")
-		quiet    = flag.Bool("quiet", false, "suppress per-job logging")
-		debug    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off production surfaces by default)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheDir  = flag.String("cachedir", "", "on-disk result cache directory (shared with hybpexp -cachedir)")
+		jobs      = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
+		workers   = flag.Int("workers", 0, "concurrent jobs (default max(2, NumCPU))")
+		queue     = flag.Int("queue", 64, "admission queue capacity; overflow answers 429 + Retry-After")
+		jobTO     = flag.Duration("jobtimeout", 15*time.Minute, "per-job execution timeout")
+		reqTO     = flag.Duration("reqtimeout", 30*time.Second, "per-request timeout for non-streaming endpoints")
+		drain     = flag.Duration("drain", 60*time.Second, "graceful shutdown drain deadline")
+		progress  = flag.Duration("progressinterval", time.Second, "SSE progress event pacing")
+		quiet     = flag.Bool("quiet", false, "suppress per-job logging")
+		debug     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off production surfaces by default)")
+		shed      = flag.Int("shed", 0, "queue depth at which experiment jobs shed with 429 while sim points still admit (0 = 3/4 of -queue, negative disables)")
+		faultSpec = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,exec.panic=0.05,stream.drop=0.2")
 	)
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	inj, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpd: -faults: %v\n", err)
+		os.Exit(1)
 	}
 	s, err := server.New(server.Config{
 		QueueSize:        *queue,
@@ -71,6 +79,8 @@ func main() {
 		CacheDir:         *cacheDir,
 		JobTimeout:       *jobTO,
 		ProgressInterval: *progress,
+		ShedThreshold:    *shed,
+		Faults:           inj,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -111,11 +121,22 @@ func main() {
 		log.Printf("hybpd: %s received, draining (deadline %s)", sig, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := s.Drain(ctx); err != nil {
-			log.Printf("hybpd: drain: %v", err)
+		drainErr := s.Drain(ctx)
+		if drainErr != nil {
+			log.Printf("hybpd: drain: %v", drainErr)
 		}
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("hybpd: shutdown: %v", err)
+		if err := httpSrv.Shutdown(ctx); err != nil || drainErr != nil {
+			// The deadline expired with jobs or connections still live.
+			// A missed drain must not become a hung process: force-close
+			// every connection (including stuck SSE streams) so exit is
+			// bounded by -drain, period.
+			if err != nil {
+				log.Printf("hybpd: shutdown: %v", err)
+			}
+			log.Printf("hybpd: drain deadline exceeded, force-closing")
+			if err := httpSrv.Close(); err != nil {
+				log.Printf("hybpd: close: %v", err)
+			}
 		}
 	}()
 

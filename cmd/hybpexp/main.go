@@ -11,9 +11,15 @@
 //
 // Usage:
 //
-//	hybpexp [-scale quick|medium|full] [-nbench N] [-nmix N] [-intervals list] \
-//	        [-j N] [-cachedir DIR] [-progress] [-json] \
+//	hybpexp [-scale tiny|quick|medium|full] [-nbench N] [-nmix N] [-intervals list] \
+//	        [-j N] [-cachedir DIR] [-progress] [-json] [-faults SPEC] \
 //	        table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|brb|seeds|cost|all
+//
+// -faults injects a deterministic fault schedule (see internal/faults) for
+// chaos testing: worker panics, transient errors, cache corruption, torn
+// writes. The harness self-heals — retries with backoff, quarantines bad
+// cache entries — so results stay bit-identical to a fault-free run; the
+// stats record reports how much healing happened.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"hybp/internal/faults"
 	"hybp/internal/harness"
 	"hybp/internal/sim"
 	"hybp/internal/workload"
@@ -38,7 +45,7 @@ const usage = "usage: hybpexp [flags] table1|table3|table6|fig2|fig5|fig6|fig7|f
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "medium", "experiment scale: quick|medium|full")
+		scaleName = flag.String("scale", "medium", "experiment scale: tiny|quick|medium|full")
 		seed      = flag.Uint64("seed", 2022, "random seed")
 		nbench    = flag.Int("nbench", 0, "limit per-application experiments to the first N figure apps (0 = all)")
 		nmix      = flag.Int("nmix", 0, "limit SMT experiments to the first N Table V mixes (0 = all)")
@@ -50,6 +57,7 @@ func main() {
 		progress  = flag.Bool("progress", true, "report job progress (done/total, cache hits, ETA) to stderr")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
 		stats     = flag.Bool("stats", false, "emit a final harness-stats record (jobs submitted/deduped/executed) to stderr as JSON")
+		faultSpec = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,exec.panic=0.1,cache.corrupt=0.2,crashafter=20")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -151,7 +159,12 @@ func main() {
 	if *progress {
 		progw = os.Stderr
 	}
-	h, err := harness.New(harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw})
+	inj, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+		os.Exit(2)
+	}
+	h, err := harness.New(harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw, Faults: inj})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "harness: %v\n", err)
 		os.Exit(2)
@@ -198,15 +211,29 @@ func main() {
 
 	for _, name := range names {
 		run(name)
-	}
-	if *stats {
-		// One parseable line on stderr (stdout carries results): the bench
-		// harness reads jobs submitted/deduped/executed from here.
-		if err := json.NewEncoder(os.Stderr).Encode(struct {
-			Stats harness.Stats `json:"stats"`
-		}{h.Stats()}); err != nil {
-			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		// A job that exhausted its retries produced a zero-value point; the
+		// rendered experiment is wrong. Fail loudly rather than emit it as
+		// if it were science.
+		if err := h.FirstErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: job failed after retries: %v\n", name, err)
+			printStats(h, *stats)
+			os.Exit(1)
 		}
+	}
+	printStats(h, *stats)
+}
+
+// printStats emits the parseable stats line on stderr (stdout carries
+// results): the bench harness reads jobs submitted/deduped/executed from
+// here, the chaos test reads retries/panics/quarantines.
+func printStats(h *harness.Runner, enabled bool) {
+	if !enabled {
+		return
+	}
+	if err := json.NewEncoder(os.Stderr).Encode(struct {
+		Stats harness.Stats `json:"stats"`
+	}{h.Stats()}); err != nil {
+		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
 	}
 }
 

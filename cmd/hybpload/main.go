@@ -47,12 +47,15 @@ func main() {
 		expEvery = flag.Int("exp-every", 0, "make every Nth job a quick experiment job (0 = sims only)")
 		expNames = flag.String("experiments", "cost,table3", "comma-separated experiment names -exp-every draws from")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		retries  = flag.Int("retries", 8, "per-call retry bound for 429/5xx/transport failures")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	c := client.New(*addr)
+	c.MaxRetries = *retries
+	c.Counters = &client.Counters{}
 
 	if err := c.Ready(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "hybpload: server not ready at %s: %v\n", *addr, err)
@@ -76,6 +79,7 @@ func main() {
 		mu        sync.Mutex
 		latencies []time.Duration
 		errs      []string
+		errClass  = map[string]int{} // Classify bucket → terminal-failure count (under mu)
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -94,8 +98,13 @@ func main() {
 				lat := time.Since(t0)
 				if err != nil || ji.Status != server.StatusDone {
 					failures.Add(1)
+					class := client.Classify(err)
+					if err == nil {
+						class = "job-failed" // server-side terminal failure, not a transport problem
+					}
 					msg := fmt.Sprintf("job %d: status=%s err=%v", i, ji.Status, err)
 					mu.Lock()
+					errClass[class]++
 					if len(errs) < 5 {
 						errs = append(errs, msg)
 					}
@@ -122,6 +131,19 @@ func main() {
 	}
 
 	fmt.Printf("done in %s: %d ok, %d failed\n", elapsed.Round(time.Millisecond), okCount.Load(), failures.Load())
+	if len(errClass) > 0 {
+		var parts []string
+		for _, k := range []string{"429", "5xx", "timeout", "conn-reset", "job-failed", "other"} {
+			if n := errClass[k]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", k, n))
+			}
+		}
+		fmt.Printf("failure breakdown: %s\n", strings.Join(parts, " "))
+	}
+	if t := c.Counters.Total(); t > 0 {
+		fmt.Printf("client retries: %d total (429=%d 5xx=%d transport=%d) — all healed before the counts above\n",
+			t, c.Counters.Retries429.Load(), c.Counters.Retries5xx.Load(), c.Counters.RetriesTransport.Load())
+	}
 	for _, e := range errs {
 		fmt.Printf("  error: %s\n", e)
 	}
@@ -139,6 +161,14 @@ func main() {
 		sd.JobsDeduped-before.Server.JobsDeduped, dedups.Load())
 	fmt.Printf("harness this run: %d sim jobs submitted, %d deduped, %d executed, %d disk-cache hits\n",
 		hd.Submitted, hd.Deduped, hd.Executed, hd.DiskHits)
+	if hd.Retries+hd.Panics+hd.Quarantines+hd.Failed > 0 {
+		fmt.Printf("harness healing this run: %d retries, %d panics recovered, %d cache quarantines, %d jobs failed\n",
+			hd.Retries, hd.Panics, hd.Quarantines, hd.Failed)
+	}
+	if sd.PanicsRecovered-before.Server.PanicsRecovered > 0 || sd.JobsShed-before.Server.JobsShed > 0 {
+		fmt.Printf("server healing this run: %d panics recovered, %d experiment jobs shed under load\n",
+			sd.PanicsRecovered-before.Server.PanicsRecovered, sd.JobsShed-before.Server.JobsShed)
+	}
 	// Simulator-side speed, distinct from request throughput: a dedup- or
 	// cache-served run can post high jobs/s while simulating nothing.
 	simCycles := after.SimulatedCycles - before.SimulatedCycles
@@ -210,12 +240,18 @@ func pct(sorted []time.Duration, p int) time.Duration {
 }
 
 // delta subtracts two harness snapshots, isolating this run's work.
+// RetryBudgetLeft is a level, not a counter, so the after value stands.
 func delta(before, after harness.Stats) harness.Stats {
 	return harness.Stats{
-		Submitted: after.Submitted - before.Submitted,
-		Deduped:   after.Deduped - before.Deduped,
-		Executed:  after.Executed - before.Executed,
-		DiskHits:  after.DiskHits - before.DiskHits,
-		Completed: after.Completed - before.Completed,
+		Submitted:       after.Submitted - before.Submitted,
+		Deduped:         after.Deduped - before.Deduped,
+		Executed:        after.Executed - before.Executed,
+		DiskHits:        after.DiskHits - before.DiskHits,
+		Completed:       after.Completed - before.Completed,
+		Retries:         after.Retries - before.Retries,
+		Panics:          after.Panics - before.Panics,
+		Quarantines:     after.Quarantines - before.Quarantines,
+		Failed:          after.Failed - before.Failed,
+		RetryBudgetLeft: after.RetryBudgetLeft,
 	}
 }

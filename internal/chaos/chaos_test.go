@@ -1,0 +1,206 @@
+// Package chaos is the end-to-end fault-injection gate: it runs the real
+// hybpexp binary under a seeded fault schedule — worker panics, transient
+// errors, cache corruption, torn writes, a mid-run crash — and asserts the
+// self-healing machinery delivers output byte-identical to a fault-free
+// run. If healing ever changes a result, this test is where it surfaces.
+//
+// The test is opt-in via HYBP_CHAOS because it builds and executes
+// binaries (slow, and wrong for `go test ./...` in constrained sandboxes):
+//
+//	HYBP_CHAOS=smoke  a three-experiment subset  (make ci)
+//	HYBP_CHAOS=full   the entire experiment suite (make chaos)
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybp/internal/faults"
+	"hybp/internal/harness"
+)
+
+// chaosSpec is the pinned fault schedule (minus crashafter, which is
+// derived from the baseline's executed-job count so the crash lands
+// mid-run at every scale). Rates are high enough that a tiny run still
+// trips every fault class; maxconsec=2 stays below the retry policy's 4
+// attempts, so healing always converges.
+const chaosSpec = "seed=7,exec.panic=0.2,exec.err=0.2,exec.slow=0.1,slowmax=2ms," +
+	"cache.corrupt=0.3,cache.torn=0.2,cache.readerr=0.2,cache.writeerr=0.1,maxconsec=2"
+
+func chaosArgs(t *testing.T) []string {
+	switch os.Getenv("HYBP_CHAOS") {
+	case "smoke":
+		return []string{"-scale", "tiny", "-nbench", "2", "-nmix", "2", "table1", "fig2", "cost"}
+	case "full", "1":
+		return []string{"-scale", "tiny", "all"}
+	}
+	t.Skip("set HYBP_CHAOS=smoke|full to run the chaos gate (make chaos / make ci)")
+	return nil
+}
+
+func buildHybpexp(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hybpexp")
+	out, err := exec.Command("go", "build", "-o", bin, "hybp/cmd/hybpexp").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build hybpexp: %v\n%s", err, out)
+	}
+	return bin
+}
+
+type runResult struct {
+	stdout, stderr string
+	exitCode       int
+	stats          *harness.Stats
+}
+
+// run executes hybpexp and parses the trailing stats record off stderr.
+// Non-zero exits are returned, not fatal — the crash run exits on purpose.
+func run(t *testing.T, bin string, args ...string) runResult {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	res := runResult{stdout: outBuf.String(), stderr: errBuf.String()}
+	var exitErr *exec.ExitError
+	switch {
+	case err == nil:
+	case errors.As(err, &exitErr):
+		res.exitCode = exitErr.ExitCode()
+	default:
+		t.Fatalf("run %s %v: %v\n%s", bin, args, err, res.stderr)
+	}
+	for _, line := range strings.Split(res.stderr, "\n") {
+		if !strings.HasPrefix(line, `{"stats":`) {
+			continue
+		}
+		var rec struct {
+			Stats harness.Stats `json:"stats"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad stats line %q: %v", line, err)
+		}
+		res.stats = &rec.Stats
+	}
+	return res
+}
+
+// normalize strips the wall-clock field from each -json line so runs
+// compare on results alone, and re-marshals for a stable byte form.
+func normalize(t *testing.T, stdout string) string {
+	t.Helper()
+	var out []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad json line %q: %v", line, err)
+		}
+		delete(rec, "seconds")
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, string(b))
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestChaosByteIdentical is the capstone gate: a fault-free baseline, a
+// faulted run that is killed mid-flight, and a resumed faulted run against
+// the same cache dir must all agree byte-for-byte, with the stats record
+// proving faults actually fired and were healed.
+func TestChaosByteIdentical(t *testing.T) {
+	exps := chaosArgs(t)
+	bin := buildHybpexp(t)
+	cleanDir, faultDir := t.TempDir(), t.TempDir()
+	common := append([]string{"-json", "-stats", "-progress=false"}, exps...)
+
+	// 1. Fault-free baseline: the ground truth.
+	base := run(t, bin, append([]string{"-j", "4", "-cachedir", cleanDir}, common...)...)
+	if base.exitCode != 0 {
+		t.Fatalf("baseline exited %d:\n%s", base.exitCode, base.stderr)
+	}
+	if base.stats == nil || base.stats.Executed == 0 {
+		t.Fatalf("baseline executed nothing: %+v", base.stats)
+	}
+	want := normalize(t, base.stdout)
+
+	// 2. Faulted run, killed mid-flight: crash after half the baseline's
+	// executions. -j 1 makes the crash point deterministic.
+	crashAfter := base.stats.Executed / 2
+	if crashAfter == 0 {
+		crashAfter = 1
+	}
+	crash := run(t, bin, append([]string{
+		"-j", "1", "-cachedir", faultDir,
+		"-faults", fmt.Sprintf("%s,crashafter=%d", chaosSpec, crashAfter),
+	}, common...)...)
+	if crash.exitCode != faults.CrashExitCode {
+		t.Fatalf("crash run exited %d, want %d (CrashExitCode)\n%s",
+			crash.exitCode, faults.CrashExitCode, crash.stderr)
+	}
+
+	// 3. Resume on the same cache dir, still under fire (no crash this
+	// time): must heal everything and complete.
+	resumed := run(t, bin, append([]string{
+		"-j", "4", "-cachedir", faultDir, "-faults", chaosSpec,
+	}, common...)...)
+	if resumed.exitCode != 0 {
+		t.Fatalf("resumed run exited %d:\n%s", resumed.exitCode, resumed.stderr)
+	}
+	if got := normalize(t, resumed.stdout); got != want {
+		t.Errorf("faulted+resumed output differs from fault-free baseline\nbaseline:\n%s\n\nfaulted:\n%s", want, got)
+	}
+
+	// 4. The schedule must have actually fired: zero healing activity
+	// means the chaos gate silently degraded into a plain rerun.
+	st := resumed.stats
+	if st == nil {
+		t.Fatal("resumed run printed no stats record")
+	}
+	if st.Retries == 0 {
+		t.Error("resumed run recorded 0 retries; fault schedule did not fire")
+	}
+	if st.Panics == 0 {
+		t.Error("resumed run recorded 0 recovered panics")
+	}
+	if st.Quarantines == 0 {
+		t.Error("resumed run recorded 0 cache quarantines")
+	}
+	if st.DiskHits == 0 {
+		t.Error("resumed run had 0 disk hits; the crash run's cache did not carry over")
+	}
+	t.Logf("healed: %d retries, %d panics, %d quarantines; resumed with %d disk hits of %d submitted",
+		st.Retries, st.Panics, st.Quarantines, st.DiskHits, st.Submitted)
+}
+
+// TestChaosRepeatedRunsAgree reruns the faulted configuration with a cold
+// cache and checks it reproduces itself exactly — determinism of the fault
+// schedule, not just of the healing.
+func TestChaosRepeatedRunsAgree(t *testing.T) {
+	exps := chaosArgs(t)
+	if os.Getenv("HYBP_CHAOS") == "smoke" {
+		t.Skip("repeat-run determinism is covered by the full gate")
+	}
+	bin := buildHybpexp(t)
+	common := append([]string{"-json", "-stats", "-progress=false", "-faults", chaosSpec}, exps...)
+	a := run(t, bin, append([]string{"-j", "2", "-cachedir", t.TempDir()}, common...)...)
+	b := run(t, bin, append([]string{"-j", "2", "-cachedir", t.TempDir()}, common...)...)
+	if a.exitCode != 0 || b.exitCode != 0 {
+		t.Fatalf("exits %d/%d\n%s\n%s", a.exitCode, b.exitCode, a.stderr, b.stderr)
+	}
+	if na, nb := normalize(t, a.stdout), normalize(t, b.stdout); na != nb {
+		t.Errorf("two faulted runs disagree\nfirst:\n%s\n\nsecond:\n%s", na, nb)
+	}
+}

@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"time"
+)
+
+// ErrInjectedReset is the transport-level failure a ConnDrop fault
+// produces. Its message contains "connection reset" so error classifiers
+// that bucket real resets by substring treat injected ones identically.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// Transport wraps an http.RoundTripper with connection-fault injection:
+// each round trip consults the injector under OpConn keyed by method and
+// path, so a request that is dropped on its first occurrences succeeds on
+// retry (MaxConsecutive bounds the streak). A nil Injector forwards every
+// request untouched.
+type Transport struct {
+	Base http.RoundTripper
+	Inj  *Injector
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Inj.Decide(OpConn, req.Method+" "+req.URL.Path)
+	switch d.Kind {
+	case Drop:
+		return nil, ErrInjectedReset
+	case Slow:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.Delay):
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

@@ -2,25 +2,44 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+
+	"hybp/internal/faults"
 )
 
 // diskCache is the on-disk layer of the result cache: one JSON file per
 // job key. Writes are atomic (temp file + rename), so a run killed
 // mid-write leaves no partial entries and the next run resumes from every
-// completed point. Unreadable or undecodable entries are treated as
-// misses and recomputed, then overwritten.
+// completed point.
+//
+// Every entry is an envelope carrying an FNV-1a checksum of its payload.
+// A mismatching or undecodable entry — torn by a crash the rename didn't
+// catch, flipped by a bad disk, or written by a pre-checksum version — is
+// quarantined: renamed to <entry>.bad and recomputed, never trusted and
+// never silently deleted, so the evidence survives for diagnosis. The
+// fault injector (when configured) perturbs reads and writes here.
 type diskCache struct {
-	dir string
+	dir         string
+	inj         *faults.Injector
+	quarantines *atomic.Uint64
 }
 
-func newDiskCache(dir string) (*diskCache, error) {
+// entry is the on-disk envelope: the checksum binds the payload bytes.
+type entry struct {
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func newDiskCache(dir string, inj *faults.Injector, quarantines *atomic.Uint64) (*diskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &diskCache{dir: dir}, nil
+	return &diskCache{dir: dir, inj: inj, quarantines: quarantines}, nil
 }
 
 // path maps a job key to its cache file, sanitizing anything a filesystem
@@ -38,23 +57,76 @@ func (c *diskCache) path(key string) string {
 	return filepath.Join(c.dir, clean+".json")
 }
 
+// sum is the FNV-1a checksum stored with every entry.
+func sum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
 // get loads the cached result for key into out, reporting whether a valid
-// entry existed.
+// entry existed. Corrupt entries are quarantined and reported as misses,
+// so the caller recomputes and overwrites.
 func (c *diskCache) get(key string, out any) bool {
-	b, err := os.ReadFile(c.path(key))
+	if c.inj.Decide(faults.OpCacheRead, key).Kind == faults.Err {
+		return false // injected read failure: degrade to recompute
+	}
+	p := c.path(key)
+	b, err := os.ReadFile(p)
 	if err != nil {
 		return false
 	}
-	return json.Unmarshal(b, out) == nil
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Sum == "" || e.Sum != sum(e.Payload) {
+		c.quarantine(p)
+		return false
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		// Checksum matched but the payload doesn't fit the requested type:
+		// a schema change, not corruption. Still recompute, still keep the
+		// evidence.
+		c.quarantine(p)
+		return false
+	}
+	return true
+}
+
+// quarantine renames a bad entry aside. Counting follows the rename so a
+// concurrent double-detection (two workers reading the same torn file)
+// counts once — the loser's rename fails on the missing source.
+func (c *diskCache) quarantine(p string) {
+	if err := os.Rename(p, p+".bad"); err == nil {
+		c.quarantines.Add(1)
+	}
 }
 
 // put stores v under key. Cache write failures are deliberately swallowed:
 // the in-memory result is already resolved, and a read-only or full cache
 // directory should degrade to recomputation, not abort the run.
 func (c *diskCache) put(key string, v any) {
-	b, err := json.Marshal(v)
+	payload, err := json.Marshal(v)
 	if err != nil {
 		return
+	}
+	// The checksum binds the intended payload; injected damage happens
+	// after, exactly like real bit rot — so the reader's verification must
+	// catch it.
+	s := sum(payload)
+	switch c.inj.Decide(faults.OpCacheWrite, key).Kind {
+	case faults.Err:
+		return // injected write failure: entry simply never lands
+	case faults.Corrupt:
+		c.inj.CorruptBytes(payload, key)
+	case faults.Torn:
+		payload = payload[:len(payload)/2]
+	}
+	b, err := json.Marshal(entry{Sum: s, Payload: payload})
+	if err != nil {
+		// A corrupt/torn payload may no longer be valid JSON; write the
+		// damaged envelope raw so the next read exercises the quarantine
+		// path exactly as real bit rot would.
+		b = append([]byte(`{"sum":"`+s+`","payload":`), payload...)
+		b = append(b, '}')
 	}
 	p := c.path(key)
 	tmp := p + ".tmp"

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hybp/internal/faults"
 )
 
 // Options configures a Runner.
@@ -35,6 +37,12 @@ type Options struct {
 	Progress io.Writer
 	// ProgressInterval overrides the reporter refresh period (default 500ms).
 	ProgressInterval time.Duration
+	// Retry bounds transient-failure healing (zero value = defaults: 4
+	// attempts, 5ms..250ms backoff, 1024-retry run budget).
+	Retry RetryPolicy
+	// Faults, when non-nil, injects deterministic faults into cache and
+	// worker operations (chaos testing). nil — the default — is free.
+	Faults *faults.Injector
 }
 
 // Stats is a snapshot of a Runner's counters. It is the one source of
@@ -53,28 +61,50 @@ type Stats struct {
 	DiskHits uint64 `json:"disk_hits"`
 	// Completed counts resolved jobs (executed or disk-hit).
 	Completed uint64 `json:"completed"`
+	// Retries counts re-executions after transient failures (injected
+	// faults, recovered panics); Panics counts worker panics recovered
+	// into typed errors; Quarantines counts corrupt cache entries renamed
+	// aside and recomputed; Failed counts jobs that exhausted retry and
+	// resolved with a permanent JobError.
+	Retries     uint64 `json:"retries"`
+	Panics      uint64 `json:"panics_recovered"`
+	Quarantines uint64 `json:"quarantines"`
+	Failed      uint64 `json:"failed"`
+	// RetryBudgetLeft is what remains of the per-run retry budget.
+	RetryBudgetLeft uint64 `json:"retry_budget_left"`
 }
 
 // Unique is the number of distinct job keys accepted.
 func (s Stats) Unique() uint64 { return s.Submitted - s.Deduped }
 
-// String formats the snapshot for logs.
+// String formats the snapshot for logs. The healing counters only appear
+// once nonzero, so fault-free runs read exactly as before.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d jobs (%d submits, %d deduped), %d executed, %d disk hits",
+	out := fmt.Sprintf("%d jobs (%d submits, %d deduped), %d executed, %d disk hits",
 		s.Unique(), s.Submitted, s.Deduped, s.Executed, s.DiskHits)
+	if s.Retries+s.Panics+s.Quarantines+s.Failed > 0 {
+		out += fmt.Sprintf("; healed: %d retries, %d panics recovered, %d quarantines, %d failed",
+			s.Retries, s.Panics, s.Quarantines, s.Failed)
+	}
+	return out
 }
 
 // Runner schedules deduplicated jobs across a bounded worker pool.
 type Runner struct {
-	sem  chan struct{}
-	disk *diskCache
-	rep  *reporter
+	sem   chan struct{}
+	disk  *diskCache
+	rep   *reporter
+	inj   *faults.Injector
+	retry RetryPolicy
 
-	mu      sync.Mutex
-	futures map[string]*future
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	futures  map[string]*future
+	firstErr error
+	wg       sync.WaitGroup
 
 	submitted, deduped, executed, diskHits, completed atomic.Uint64
+	retries, panics, quarantines, failed              atomic.Uint64
+	budgetLeft                                        atomic.Uint64
 }
 
 // New builds a Runner. The only error source is an unusable CacheDir.
@@ -86,9 +116,12 @@ func New(opts Options) (*Runner, error) {
 	r := &Runner{
 		sem:     make(chan struct{}, workers),
 		futures: make(map[string]*future),
+		inj:     opts.Faults,
+		retry:   opts.Retry.withDefaults(),
 	}
+	r.budgetLeft.Store(r.retry.Budget)
 	if opts.CacheDir != "" {
-		d, err := newDiskCache(opts.CacheDir)
+		d, err := newDiskCache(opts.CacheDir, opts.Faults, &r.quarantines)
 		if err != nil {
 			return nil, err
 		}
@@ -112,12 +145,27 @@ func MustNew(opts Options) *Runner {
 // Stats snapshots the counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Submitted: r.submitted.Load(),
-		Deduped:   r.deduped.Load(),
-		Executed:  r.executed.Load(),
-		DiskHits:  r.diskHits.Load(),
-		Completed: r.completed.Load(),
+		Submitted:       r.submitted.Load(),
+		Deduped:         r.deduped.Load(),
+		Executed:        r.executed.Load(),
+		DiskHits:        r.diskHits.Load(),
+		Completed:       r.completed.Load(),
+		Retries:         r.retries.Load(),
+		Panics:          r.panics.Load(),
+		Quarantines:     r.quarantines.Load(),
+		Failed:          r.failed.Load(),
+		RetryBudgetLeft: r.budgetLeft.Load(),
 	}
+}
+
+// FirstErr returns the first permanent job failure of the run, or nil.
+// Submissions keep flowing after a failure — one poisoned job must not
+// abort a thousand healthy ones — so front ends check this after Wait to
+// decide the process exit status.
+func (r *Runner) FirstErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstErr
 }
 
 // Wait blocks until every submitted job has resolved.
@@ -138,16 +186,34 @@ func (r *Runner) Close() {
 type future struct {
 	done chan struct{}
 	val  any
+	err  error
 }
 
 // Future is a typed handle on a scheduled job's result.
 type Future[T any] struct{ f *future }
 
-// Get blocks until the job resolves and returns its result.
+// Get blocks until the job resolves and returns its result. A permanently
+// failed job yields the zero value; callers that must distinguish use
+// Result or Err (experiment front ends check Runner.FirstErr once at the
+// end of the run instead of threading errors through every table cell).
 func (f Future[T]) Get() T {
 	<-f.f.done
 	v, _ := f.f.val.(T)
 	return v
+}
+
+// Err blocks until the job resolves and returns its terminal error: nil on
+// success, a *JobError after retry gave up.
+func (f Future[T]) Err() error {
+	<-f.f.done
+	return f.f.err
+}
+
+// Result blocks and returns both the value and the terminal error.
+func (f Future[T]) Result() (T, error) {
+	<-f.f.done
+	v, _ := f.f.val.(T)
+	return v, f.f.err
 }
 
 // Submit schedules fn under the given content-addressed key and returns a
@@ -188,7 +254,17 @@ func Submit[T any](r *Runner, key string, fn func() T) Future[T] {
 				return
 			}
 		}
-		v := fn()
+		v, err := runWithRetry(r, key, fn)
+		if err != nil {
+			r.failed.Add(1)
+			f.err = err
+			r.mu.Lock()
+			if r.firstErr == nil {
+				r.firstErr = err
+			}
+			r.mu.Unlock()
+			return
+		}
 		r.executed.Add(1)
 		f.val = v
 		if r.disk != nil {

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hybp/internal/faults"
 )
 
 type fakeResult struct {
@@ -225,5 +228,229 @@ func TestConcurrentSubmitStress(t *testing.T) {
 	}
 	if st := r.Stats(); st.Submitted != 400 || st.Unique() != 10 {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// --- self-healing: retries, panic recovery, quarantine, fault injection ---
+
+func TestPanicRecoveredAndRetried(t *testing.T) {
+	r := MustNew(Options{Workers: 2, Retry: RetryPolicy{BaseBackoff: time.Microsecond}})
+	var calls atomic.Int64
+	got, err := Submit(r, "panicky", func() int {
+		if calls.Add(1) < 3 {
+			panic("boom")
+		}
+		return 99
+	}).Result()
+	if err != nil || got != 99 {
+		t.Fatalf("Result = (%d, %v), want (99, nil)", got, err)
+	}
+	r.Wait()
+	st := r.Stats()
+	if st.Panics != 2 || st.Retries != 2 || st.Executed != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 2 panics recovered, 2 retries", st)
+	}
+	if r.FirstErr() != nil {
+		t.Fatalf("FirstErr = %v after a healed job", r.FirstErr())
+	}
+}
+
+func TestPermanentFailureIsTyped(t *testing.T) {
+	r := MustNew(Options{Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond}})
+	var calls atomic.Int64
+	_, err := Submit(r, "always-panics", func() int {
+		calls.Add(1)
+		panic("persistent")
+	}).Result()
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v (%T), want *JobError", err, err)
+	}
+	if je.Key != "always-panics" || je.Attempts != 3 {
+		t.Fatalf("JobError = %+v", je)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("JobError does not unwrap to a stack-carrying PanicError: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("attempted %d times, want 3", calls.Load())
+	}
+	r.Wait()
+	if st := r.Stats(); st.Failed != 1 || st.Executed != 0 {
+		t.Fatalf("stats = %+v, want 1 failed", st)
+	}
+	if r.FirstErr() == nil {
+		t.Fatal("FirstErr lost the permanent failure")
+	}
+	// Get on a failed future degrades to the zero value, documented.
+	if got := Submit(r, "always-panics", func() int { return 1 }).Get(); got != 0 {
+		t.Fatalf("Get on failed job = %d, want zero value", got)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	r := MustNew(Options{Workers: 1, Retry: RetryPolicy{MaxAttempts: 10, Budget: 2, BaseBackoff: time.Microsecond}})
+	_, err := Submit(r, "budget-eater", func() int { panic("x") }).Result()
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	r.Wait()
+	if st := r.Stats(); st.RetryBudgetLeft != 0 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want empty budget after 2 retries", st)
+	}
+}
+
+func TestInjectedExecFaultsHeal(t *testing.T) {
+	inj := faults.New(faults.Config{Seed: 7, ExecPanic: 0.4, ExecErr: 0.4, MaxConsecutive: 2})
+	r := MustNew(Options{Workers: 4, Faults: inj, Retry: RetryPolicy{BaseBackoff: time.Microsecond}})
+	var futs []Future[int]
+	for i := 0; i < 40; i++ {
+		i := i
+		futs = append(futs, Submit(r, fmt.Sprintf("inj-%d", i), func() int { return i * i }))
+	}
+	for i, f := range futs {
+		v, err := f.Result()
+		if err != nil || v != i*i {
+			t.Fatalf("job %d = (%d, %v), want (%d, nil)", i, v, err, i*i)
+		}
+	}
+	r.Wait()
+	st := r.Stats()
+	if st.Retries == 0 || st.Failed != 0 || st.Executed != 40 {
+		t.Fatalf("stats = %+v, want nonzero retries and no failures", st)
+	}
+	if fs := inj.Stats(); fs.Total() == 0 {
+		t.Fatalf("injector fired nothing: %+v", fs)
+	}
+}
+
+func TestQuarantineCorruptEntryCounted(t *testing.T) {
+	dir := t.TempDir()
+	key := Key("quar", struct{ X int }{1})
+	r1, _ := New(Options{CacheDir: dir})
+	Submit(r1, key, func() int { return 7 }).Get()
+	r1.Wait()
+
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache entries = %v (err %v)", entries, err)
+	}
+	// Flip payload bytes without touching the stored checksum.
+	b, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(b), `"payload":7`, `"payload":8`, 1)
+	if mangled == string(b) {
+		t.Fatalf("test assumption broke; entry = %s", b)
+	}
+	if err := os.WriteFile(entries[0], []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _ := New(Options{CacheDir: dir})
+	if got := Submit(r2, key, func() int { return 7 }).Get(); got != 7 {
+		t.Fatalf("recomputed value = %d, want 7 (not the tampered 8)", got)
+	}
+	r2.Wait()
+	if st := r2.Stats(); st.Quarantines != 1 || st.Executed != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantine + recompute", st)
+	}
+	if bad, _ := filepath.Glob(filepath.Join(dir, "*.bad")); len(bad) != 1 {
+		t.Fatalf("quarantined files = %v, want exactly 1 *.bad", bad)
+	}
+	// The recompute overwrote the entry: a third run disk-hits cleanly.
+	r3, _ := New(Options{CacheDir: dir})
+	Submit(r3, key, func() int { return 7 }).Get()
+	r3.Wait()
+	if st := r3.Stats(); st.DiskHits != 1 || st.Quarantines != 0 {
+		t.Fatalf("post-heal stats = %+v, want clean disk hit", st)
+	}
+}
+
+// TestCrashResumeIdenticalResults is the crash-resume contract at the
+// harness level: a run aborted partway (simulated by only completing a
+// prefix of the jobs) resumes on the same cache dir without re-executing
+// completed work, and every value matches the uninterrupted run.
+func TestCrashResumeIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+	compute := func(i int) fakeResult {
+		return fakeResult{Seed: uint64(i), Value: float64(i) * 2.25}
+	}
+	keyOf := func(i int) string { return Key("crash", struct{ Point int }{i}) }
+
+	// Uninterrupted reference run (no cache).
+	ref := make([]fakeResult, 16)
+	rRef := MustNew(Options{Workers: 2})
+	for i := range ref {
+		i := i
+		ref[i] = Submit(rRef, keyOf(i), func() fakeResult { return compute(i) }).Get()
+	}
+	rRef.Wait()
+
+	// "Crashed" run: only the first 9 jobs completed before the kill.
+	r1, _ := New(Options{Workers: 2, CacheDir: dir})
+	for i := 0; i < 9; i++ {
+		i := i
+		Submit(r1, keyOf(i), func() fakeResult { return compute(i) })
+	}
+	r1.Wait()
+
+	// Resumed run over the same cache dir submits everything.
+	r2, _ := New(Options{Workers: 2, CacheDir: dir})
+	for i := 0; i < 16; i++ {
+		i := i
+		got := Submit(r2, keyOf(i), func() fakeResult { return compute(i) }).Get()
+		if got != ref[i] {
+			t.Fatalf("resumed job %d = %+v, want %+v", i, got, ref[i])
+		}
+	}
+	r2.Wait()
+	if st := r2.Stats(); st.DiskHits != 9 || st.Executed != 7 {
+		t.Fatalf("resume stats = %+v, want 9 disk hits + 7 executed", st)
+	}
+}
+
+// TestConcurrentRetriesHammerOneCacheDir drives many workers through a
+// fault schedule that panics, errors, corrupts writes, and fails reads, all
+// against one shared cache directory — the -race coverage for the healing
+// paths. Despite everything, every job must resolve to its true value.
+func TestConcurrentRetriesHammerOneCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := faults.Config{
+		Seed: 2022, ExecPanic: 0.25, ExecErr: 0.25, ExecSlow: 0.05,
+		CacheReadErr: 0.2, CacheCorrupt: 0.3, CacheTorn: 0.2,
+		SlowMax: time.Millisecond, MaxConsecutive: 2,
+	}
+	for round := 0; round < 3; round++ {
+		r, err := New(Options{
+			Workers: 8, CacheDir: dir, Faults: faults.New(cfg),
+			Retry: RetryPolicy{BaseBackoff: 100 * time.Microsecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var futs []Future[fakeResult]
+		for i := 0; i < 60; i++ {
+			i := i
+			key := Key("hammer", struct{ Point int }{i % 20})
+			futs = append(futs, Submit(r, key, func() fakeResult {
+				return fakeResult{Seed: uint64(i % 20), Value: float64(i%20) * 3.5}
+			}))
+		}
+		for i, f := range futs {
+			v, err := f.Result()
+			if err != nil {
+				t.Fatalf("round %d job %d: %v", round, i, err)
+			}
+			if want := (fakeResult{Seed: uint64(i % 20), Value: float64(i%20) * 3.5}); v != want {
+				t.Fatalf("round %d job %d = %+v, want %+v", round, i, v, want)
+			}
+		}
+		r.Wait()
+		if st := r.Stats(); st.Failed != 0 {
+			t.Fatalf("round %d stats = %+v, want 0 failed", round, st)
+		}
 	}
 }

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime/debug"
+	"time"
+
+	"hybp/internal/faults"
+	"hybp/internal/rng"
+)
+
+// RetryPolicy bounds how the Runner heals transient job failures: each
+// failed attempt is retried with exponential backoff and deterministic
+// jitter until the per-job attempt bound or the per-run retry budget is
+// exhausted, whichever comes first. The zero value takes the documented
+// defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the per-job execution bound, first try included
+	// (default 4). It exceeds the fault injector's default MaxConsecutive
+	// streak, so injected fault schedules always converge.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay (default 5ms); each further
+	// retry doubles it up to MaxBackoff (default 250ms). The jitter —
+	// a deterministic fraction in [0.5, 1) derived from the job key and
+	// attempt — desynchronizes concurrent retries without introducing
+	// schedule-dependent randomness.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Budget caps total retries per run (default 1024): a systemic fault
+	// (disk gone, every job panicking) degrades to fast typed failures
+	// instead of an unbounded retry storm.
+	Budget uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Budget == 0 {
+		p.Budget = 1024
+	}
+	return p
+}
+
+// backoff is the delay before retry number attempt (1-based): exponential
+// in the attempt, capped, with deterministic key-derived jitter so two
+// workers retrying different jobs don't thunder in phase.
+func (p RetryPolicy) backoff(key string, attempt int) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	frac := float64(rng.Mix64(h.Sum64()^uint64(attempt))>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.5 + frac/2))
+}
+
+// PanicError is a worker panic recovered into a typed, retryable job
+// error. The stack is captured at recovery for diagnosis; the panic does
+// not escape the worker, so one poisoned job cannot take down the run.
+type PanicError struct {
+	Key   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %s panicked: %v", e.Key, e.Value)
+}
+
+// TransientError marks a failure worth retrying (injected faults and
+// recovered panics classify as transient; everything else is permanent).
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient wraps err as retryable.
+func Transient(err error) error { return &TransientError{Err: err} }
+
+// IsTransient reports whether err should be retried: explicit
+// TransientError wrappers and recovered panics qualify.
+func IsTransient(err error) bool {
+	var te *TransientError
+	var pe *PanicError
+	return errors.As(err, &te) || errors.As(err, &pe)
+}
+
+// JobError is a job's terminal failure after retry gave up: the typed
+// error Future.Err returns and FirstErr aggregates.
+type JobError struct {
+	Key      string
+	Attempts int
+	Err      error // the last attempt's failure
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("job %s failed after %d attempts: %v", e.Key, e.Attempts, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// runOnce executes one attempt of fn with panic containment and worker
+// fault injection. A recovered panic — injected or genuine — comes back as
+// a *PanicError instead of unwinding the worker goroutine.
+func runOnce[T any](key string, fn func() T, d faults.Decision) (v T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Key: key, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	switch d.Kind {
+	case faults.Slow:
+		time.Sleep(d.Delay)
+	case faults.Err:
+		return v, Transient(fmt.Errorf("faults: injected transient error (%s)", key))
+	case faults.Panic:
+		panic(fmt.Sprintf("faults: injected panic (%s)", key))
+	}
+	return fn(), nil
+}
+
+// runWithRetry drives fn to success or a typed permanent failure under the
+// Runner's retry policy, counting retries, recovered panics, and budget
+// consumption in the shared stats.
+func runWithRetry[T any](r *Runner, key string, fn func() T) (T, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		v, err := runOnce(key, fn, r.inj.Decide(faults.OpExec, key))
+		if err == nil {
+			r.inj.NoteExec()
+			return v, nil
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			r.panics.Add(1)
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			return *new(T), &JobError{Key: key, Attempts: attempt, Err: err}
+		}
+		if attempt >= r.retry.MaxAttempts {
+			return *new(T), &JobError{Key: key, Attempts: attempt,
+				Err: fmt.Errorf("attempt bound (%d) reached: %w", r.retry.MaxAttempts, lastErr)}
+		}
+		if !r.takeRetryToken() {
+			return *new(T), &JobError{Key: key, Attempts: attempt,
+				Err: fmt.Errorf("run retry budget (%d) exhausted: %w", r.retry.Budget, lastErr)}
+		}
+		r.retries.Add(1)
+		time.Sleep(r.retry.backoff(key, attempt))
+	}
+}
+
+// takeRetryToken consumes one unit of the per-run retry budget.
+func (r *Runner) takeRetryToken() bool {
+	for {
+		left := r.budgetLeft.Load()
+		if left == 0 {
+			return false
+		}
+		if r.budgetLeft.CompareAndSwap(left, left-1) {
+			return true
+		}
+	}
+}

@@ -75,7 +75,7 @@ type SimRequest struct {
 type ExperimentRequest struct {
 	// Name is the experiment: table1, fig5, brb, ... (required).
 	Name string `json:"name"`
-	// Scale is the fidelity preset: quick|medium|full (default "quick" —
+	// Scale is the fidelity preset: tiny|quick|medium|full (default "quick" —
 	// a service should default to its cheapest fidelity).
 	Scale string `json:"scale,omitempty"`
 	// Seed overrides the preset's seed.
@@ -203,12 +203,18 @@ type ServerCounters struct {
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDeduped   int64 `json:"jobs_deduped"`
 	JobsRejected  int64 `json:"jobs_rejected"`
+	// JobsShed is the subset of rejections from load shedding: experiment
+	// jobs turned away at the shed threshold before the queue was full.
+	JobsShed      int64 `json:"jobs_shed"`
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsRunning   int64 `json:"jobs_running"`
-	QueueDepth    int   `json:"queue_depth"`
-	QueueCapacity int   `json:"queue_capacity"`
-	Draining      bool  `json:"draining"`
+	// PanicsRecovered counts handler and job-execution panics converted
+	// into 500 responses / failed jobs instead of daemon crashes.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	QueueDepth      int   `json:"queue_depth"`
+	QueueCapacity   int   `json:"queue_capacity"`
+	Draining        bool  `json:"draining"`
 }
 
 // LatencySnapshot is a cumulative (Prometheus-style) histogram of job

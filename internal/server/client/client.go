@@ -1,6 +1,10 @@
 // Package client is the Go client for the hybpd simulation service: job
-// submission with automatic 429 backoff honoring Retry-After, result
-// polling, and SSE progress streaming with a polling fallback.
+// submission and retrieval with full retry/backoff over every transient
+// failure class — 429 backpressure (honoring Retry-After), 5xx responses,
+// and transport errors like connection resets — plus SSE progress
+// streaming with a polling fallback. Retries are safe by construction:
+// jobs are content-addressed, so a resubmitted POST coalesces onto the
+// same job instead of duplicating work.
 package client
 
 import (
@@ -8,11 +12,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"hybp/internal/server"
@@ -25,13 +32,70 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient overrides the transport (httptest servers inject theirs).
+	// HTTPClient overrides the transport (httptest servers inject theirs;
+	// chaos tests wrap it in a faults.Transport).
 	HTTPClient *http.Client
-	// Retry429 is how many times Submit retries a 429 before giving up
-	// (default 8). Each retry sleeps the server's Retry-After.
+	// MaxRetries bounds retries of retryable failures — 429, 5xx, and
+	// transport errors — per call (default 8). 429 sleeps the server's
+	// Retry-After; everything else backs off exponentially from RetryBase
+	// (default 100ms) capped at RetryMax (default 5s).
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryMax   time.Duration
+	// Retry429 is the deprecated spelling of MaxRetries, honored when
+	// MaxRetries is zero so existing callers keep their configuration.
 	Retry429 int
 	// PollInterval paces Wait's polling fallback (default 200ms).
 	PollInterval time.Duration
+	// Counters, when non-nil, tallies retries by failure class — the load
+	// generator reads it to report how degraded a run was.
+	Counters *Counters
+}
+
+// Counters aggregates retry activity across a Client's calls. All fields
+// are atomically updated; read them with Load.
+type Counters struct {
+	Retries429       atomic.Int64
+	Retries5xx       atomic.Int64
+	RetriesTransport atomic.Int64
+}
+
+// Total is the number of retries across all classes.
+func (c *Counters) Total() int64 {
+	return c.Retries429.Load() + c.Retries5xx.Load() + c.RetriesTransport.Load()
+}
+
+// Classify buckets an error for breakdown reporting: "429", "5xx",
+// "timeout", "conn-reset", or "other" (nil returns ""). Wrapped errors
+// classify through errors.As/Is; injected resets match by message, the
+// same way operators grep for real ones.
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch {
+		case apiErr.Status == http.StatusTooManyRequests:
+			return "429"
+		case apiErr.Status >= 500:
+			return "5xx"
+		}
+		return "other"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return "timeout"
+	}
+	if strings.Contains(err.Error(), "connection reset") ||
+		strings.Contains(err.Error(), "broken pipe") ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return "conn-reset"
+	}
+	return "other"
 }
 
 // New builds a client for the base URL.
@@ -58,8 +122,12 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
 }
 
-// IsRetryable reports whether the error is a 429 admission rejection.
-func (e *APIError) IsRetryable() bool { return e.Status == http.StatusTooManyRequests }
+// IsRetryable reports whether the response class is worth retrying: 429
+// admission rejections and 5xx server-side failures (including 503 drains,
+// which resolve when the replacement process comes up).
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
 
 func decodeError(resp *http.Response) error {
 	var body server.ErrorBody
@@ -74,37 +142,100 @@ func decodeError(resp *http.Response) error {
 	return apiErr
 }
 
-// Submit POSTs a job config. On 429 it sleeps the server's Retry-After and
-// retries up to Retry429 times, so a closed-loop caller cooperates with
-// the server's backpressure instead of hammering it. The returned info's
-// Deduped field reports whether the config coalesced onto an existing job.
+// Submit POSTs a job config, retrying every transient failure class: 429
+// (sleeping the server's Retry-After, cooperating with backpressure), 5xx
+// (a recovered handler panic, a mid-drain 503), and transport errors (a
+// dropped or reset connection). Retrying the POST is safe because configs
+// are content-addressed — a replay coalesces onto the job the lost
+// response already created. The returned info's Deduped field reports
+// whether the config coalesced onto an existing job.
 func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
-	retries := c.Retry429
-	if retries <= 0 {
-		retries = 8
+	var ji server.JobInfo
+	err := c.withRetry(ctx, "submit", func() error {
+		var err error
+		ji, err = c.submitOnce(ctx, req)
+		return err
+	})
+	if err != nil {
+		return server.JobInfo{}, err
+	}
+	return ji, nil
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.Retry429 > 0 {
+		return c.Retry429
+	}
+	return 8
+}
+
+// withRetry drives fn until success, a permanent failure, a context end,
+// or the retry bound. Backoff is exponential with a ±25% spread derived
+// from the attempt number; a 429's Retry-After always wins, because the
+// server knows its queue better than any client-side schedule.
+func (c *Client) withRetry(ctx context.Context, what string, fn func() error) error {
+	retries := c.maxRetries()
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := c.RetryMax
+	if maxB <= 0 {
+		maxB = 5 * time.Second
 	}
 	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		ji, err := c.submitOnce(ctx, req)
+	for attempt := 0; ; attempt++ {
+		err := fn()
 		if err == nil {
-			return ji, nil
+			return nil
 		}
 		lastErr = err
-		apiErr, ok := err.(*APIError)
-		if !ok || !apiErr.IsRetryable() {
-			return server.JobInfo{}, err
+		backoff := base << min(attempt, 30)
+		if backoff > maxB || backoff <= 0 {
+			backoff = maxB
 		}
-		backoff := apiErr.RetryAfter
-		if backoff <= 0 {
-			backoff = time.Second
+		var apiErr *APIError
+		switch {
+		case errors.As(err, &apiErr):
+			if !apiErr.IsRetryable() {
+				return err // 4xx other than 429: the request itself is wrong
+			}
+			if apiErr.Status == http.StatusTooManyRequests {
+				c.count(func(k *Counters) *atomic.Int64 { return &k.Retries429 })
+				if apiErr.RetryAfter > 0 {
+					backoff = apiErr.RetryAfter
+				}
+			} else {
+				c.count(func(k *Counters) *atomic.Int64 { return &k.Retries5xx })
+			}
+		case ctx.Err() != nil:
+			return err // the caller's deadline, not a server failure
+		default:
+			// Transport-level: reset, refused, torn body. Safe to retry —
+			// GETs are idempotent and POSTs are content-addressed.
+			c.count(func(k *Counters) *atomic.Int64 { return &k.RetriesTransport })
 		}
+		if attempt >= retries {
+			return fmt.Errorf("%s: gave up after %d retries: %w", what, retries, lastErr)
+		}
+		// Spread concurrent clients ±25% around the base so a herd blocked
+		// on one outage doesn't return in lockstep.
+		jitter := time.Duration(int64(backoff) / 4 * int64(attempt%3-1))
 		select {
-		case <-time.After(backoff):
+		case <-time.After(backoff + jitter):
 		case <-ctx.Done():
-			return server.JobInfo{}, ctx.Err()
+			return ctx.Err()
 		}
 	}
-	return server.JobInfo{}, fmt.Errorf("submit: gave up after %d retries: %w", retries, lastErr)
+}
+
+func (c *Client) count(sel func(*Counters) *atomic.Int64) {
+	if c.Counters != nil {
+		sel(c.Counters).Add(1)
+	}
 }
 
 func (c *Client) submitOnce(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
@@ -156,7 +287,15 @@ func (c *Client) Ready(ctx context.Context) error {
 	return c.getJSON(ctx, "/readyz", nil)
 }
 
+// getJSON GETs path with the full retry policy — GETs are idempotent, so
+// every transient failure class is fair game.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.withRetry(ctx, "GET "+path, func() error {
+		return c.getJSONOnce(ctx, path, out)
+	})
+}
+
+func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err

@@ -3,12 +3,16 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"hybp/internal/faults"
 	"hybp/internal/server"
 )
 
@@ -287,5 +291,171 @@ func TestConcurrentClientsHammer(t *testing.T) {
 	}
 	if m.Harness.Executed >= m.Harness.Submitted {
 		t.Fatalf("harness executed everything submitted: %+v", m.Harness)
+	}
+}
+
+// flakyHandler fails the first n requests per path with the given status,
+// then delegates to ok.
+func flakyHandler(n int, status int, ok http.HandlerFunc) http.HandlerFunc {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	return func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.URL.Path]++
+		k := seen[r.URL.Path]
+		mu.Unlock()
+		if k <= n {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(server.ErrorBody{Error: "injected"})
+			return
+		}
+		ok(w, r)
+	}
+}
+
+func TestSubmitRetries5xx(t *testing.T) {
+	want := server.JobInfo{ID: "j1", Status: server.StatusDone}
+	ts := httptest.NewServer(flakyHandler(3, http.StatusInternalServerError,
+		func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(want)
+		}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.RetryBase = time.Millisecond
+	c.Counters = &Counters{}
+	ji, err := c.Submit(context.Background(), tinySim("gcc", "hybp"))
+	if err != nil {
+		t.Fatalf("Submit after 5xx flakes: %v", err)
+	}
+	if ji.ID != want.ID {
+		t.Fatalf("got job %q, want %q", ji.ID, want.ID)
+	}
+	if got := c.Counters.Retries5xx.Load(); got != 3 {
+		t.Fatalf("Retries5xx = %d, want 3", got)
+	}
+	if got := c.Counters.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+}
+
+func TestGetRetriesTransportReset(t *testing.T) {
+	var mu sync.Mutex
+	drops := 2
+	want := server.JobInfo{ID: "j2", Status: server.StatusDone}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		d := drops
+		drops--
+		mu.Unlock()
+		if d > 0 {
+			// Hijack and slam the connection shut mid-response: the client
+			// sees a reset/EOF, a transport-class failure.
+			hj := w.(http.Hijacker)
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		json.NewEncoder(w).Encode(want)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.RetryBase = time.Millisecond
+	c.Counters = &Counters{}
+	ji, err := c.Get(context.Background(), "j2")
+	if err != nil {
+		t.Fatalf("Get after connection drops: %v", err)
+	}
+	if ji.ID != want.ID {
+		t.Fatalf("got job %q, want %q", ji.ID, want.ID)
+	}
+	if got := c.Counters.RetriesTransport.Load(); got == 0 {
+		t.Fatal("RetriesTransport = 0, want > 0")
+	}
+}
+
+func TestInjectedConnDropsHeal(t *testing.T) {
+	// A real server behind a fault-injecting transport: every RPC's first
+	// MaxConsecutive attempts are reset, and the client heals all of them.
+	_, c := startServer(t, server.Config{})
+	inj, err := faults.Parse("seed=11,conn.drop=1,maxconsec=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HTTPClient = &http.Client{Transport: &faults.Transport{Base: c.HTTPClient.Transport, Inj: inj}}
+	c.RetryBase = time.Millisecond
+	c.Counters = &Counters{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ji, err := c.Submit(ctx, tinySim("gcc", "hybp"))
+	if err != nil {
+		t.Fatalf("Submit through dropping transport: %v", err)
+	}
+	final, err := c.Wait(ctx, ji.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if final.Status != server.StatusDone {
+		t.Fatalf("status %s (%s)", final.Status, final.Error)
+	}
+	if got := c.Counters.RetriesTransport.Load(); got == 0 {
+		t.Fatal("no transport retries counted despite 100% drop rate")
+	}
+}
+
+func TestClientErrorsNotRetried(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(server.ErrorBody{Error: "bad config"})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.RetryBase = time.Millisecond
+	_, err := c.Submit(context.Background(), tinySim("gcc", "hybp"))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("400 was retried: %d calls", calls)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&APIError{Status: 429}, "429"},
+		{&APIError{Status: 500}, "5xx"},
+		{&APIError{Status: 503}, "5xx"},
+		{&APIError{Status: 400}, "other"},
+		{fmt.Errorf("wrapped: %w", &APIError{Status: 429}), "429"},
+		{context.DeadlineExceeded, "timeout"},
+		{fmt.Errorf("read tcp: %w", faults.ErrInjectedReset), "conn-reset"},
+		{errors.New("write: broken pipe"), "conn-reset"},
+		{io.ErrUnexpectedEOF, "conn-reset"},
+		{errors.New("mystery"), "other"},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
+		}
 	}
 }

@@ -21,6 +21,10 @@ var latencyBoundsMS = []float64{
 type metrics struct {
 	submitted, deduped, rejected expvar.Int
 	completed, failed, running   expvar.Int
+	// panics counts handler and job-execution panics recovered into 500s
+	// and failed jobs; shed counts experiment submissions rejected early
+	// by load shedding (before the queue was hard-full).
+	panics, shed expvar.Int
 
 	latCount atomic.Int64
 	latSumMS atomic.Int64 // integer milliseconds; enough resolution for a sum

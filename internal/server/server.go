@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hybp/internal/faults"
 	"hybp/internal/harness"
 	"hybp/internal/pipeline"
 	"hybp/internal/sim"
@@ -36,6 +37,14 @@ type Config struct {
 	ProgressInterval time.Duration
 	// Logf, when set, receives one line per admission/completion.
 	Logf func(format string, args ...any)
+	// ShedThreshold is the queue depth at which whole-experiment jobs are
+	// rejected early with 429 while cheap single-point jobs still admit —
+	// graceful degradation under sustained pressure instead of a cliff
+	// (default 3/4 of QueueSize; negative disables shedding).
+	ShedThreshold int
+	// Faults, when non-nil, injects deterministic faults into the harness
+	// (cache, worker execution) and the SSE streams (chaos testing only).
+	Faults *faults.Injector
 
 	// execOverride replaces job execution in tests.
 	execOverride func(j *Job) (any, error)
@@ -82,7 +91,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	har, err := harness.New(harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir})
+	if cfg.ShedThreshold == 0 {
+		cfg.ShedThreshold = max(1, cfg.QueueSize*3/4)
+	}
+	har, err := harness.New(harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir, Faults: cfg.Faults})
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -103,8 +115,32 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler is the server's HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler is the server's HTTP surface, wrapped in panic recovery: a
+// panicking handler answers 500 with a JSON error body and increments
+// panics_recovered instead of tearing down the connection — one bad
+// request must not look like an outage to every other client.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// Deliberate stream abort; net/http handles it quietly.
+				panic(p)
+			}
+			s.met.panics.Add(1)
+			s.cfg.Logf("panic in %s %s: %v", r.Method, r.URL.Path, p)
+			// If the handler already streamed a response this write is a
+			// no-op; for the common pre-write case the client gets JSON.
+			writeError(w, http.StatusInternalServerError, "internal error: %v", p)
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
 
 // Stats exposes the shared harness counters (one source of truth with
 // hybpexp's -progress line).
@@ -117,15 +153,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Unlock()
 	return MetricsSnapshot{
 		Server: ServerCounters{
-			JobsSubmitted: s.met.submitted.Value(),
-			JobsDeduped:   s.met.deduped.Value(),
-			JobsRejected:  s.met.rejected.Value(),
-			JobsCompleted: s.met.completed.Value(),
-			JobsFailed:    s.met.failed.Value(),
-			JobsRunning:   s.met.running.Value(),
-			QueueDepth:    len(s.queue),
-			QueueCapacity: cap(s.queue),
-			Draining:      draining,
+			JobsSubmitted:   s.met.submitted.Value(),
+			JobsDeduped:     s.met.deduped.Value(),
+			JobsRejected:    s.met.rejected.Value(),
+			JobsShed:        s.met.shed.Value(),
+			JobsCompleted:   s.met.completed.Value(),
+			JobsFailed:      s.met.failed.Value(),
+			JobsRunning:     s.met.running.Value(),
+			PanicsRecovered: s.met.panics.Value(),
+			QueueDepth:      len(s.queue),
+			QueueCapacity:   cap(s.queue),
+			Draining:        draining,
 		},
 		Harness:         s.har.Stats(),
 		JobLatencyMS:    s.met.latency(),
@@ -233,6 +271,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Load shedding: under sustained queue pressure, refuse the expensive
+	// whole-experiment jobs first so cheap single points keep flowing —
+	// the service degrades in fidelity before it degrades in availability.
+	if s.cfg.ShedThreshold >= 0 && canon.Kind == KindExperiment && len(s.queue) >= s.cfg.ShedThreshold {
+		s.mu.Unlock()
+		s.met.submitted.Add(1)
+		s.met.shed.Add(1)
+		s.met.rejected.Add(1)
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests,
+			"shedding experiment jobs under load (queue %d/%d); retry after %ds or submit single sim points",
+			len(s.queue), cap(s.queue), retry)
 		return
 	}
 	j := newJob(id, key, canon)
@@ -349,6 +402,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if terminal {
 			return
 		}
+		// Injected stream cut: the client re-subscribes with Last-Event-ID
+		// and replays nothing it already saw — the resume path real
+		// network flakes exercise.
+		if s.cfg.Faults.Decide(faults.OpStream, j.id).Kind == faults.Drop {
+			return
+		}
 		select {
 		case <-more:
 		case <-heartbeat.C:
@@ -406,6 +465,15 @@ func (s *Server) runJob(j *Job) {
 	}
 	resCh := make(chan outcome, 1)
 	go func() {
+		// A panicking job resolves as a typed failure, not a dead daemon:
+		// the harness already contains simulation panics, so anything
+		// reaching here is a dispatch-layer bug — recover it all the same.
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Add(1)
+				resCh <- outcome{err: fmt.Errorf("job panicked: %v", p)}
+			}
+		}()
 		v, err := s.execute(j)
 		if err != nil {
 			resCh <- outcome{err: err}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -8,9 +9,12 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"hybp/internal/faults"
 )
 
 // testServer builds a Server whose job execution is replaced by hook.
@@ -359,4 +363,166 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("condition never became true")
+}
+
+func TestHandlerPanicRecovered(t *testing.T) {
+	s, ts := testServer(t, Config{}, func(*Job) (any, error) { return "ok", nil })
+	// Panic while the job executes: the worker recovers it into a failed
+	// job rather than killing the daemon.
+	s.cfg.execOverride = func(*Job) (any, error) { panic("exec exploded") }
+	_, _, ji := postJob(t, ts, `{"sim":{"bench":"gcc"}}`)
+	final := waitDone(t, ts, ji.ID)
+	if final.Status != StatusFailed || !strings.Contains(final.Error, "panicked") {
+		t.Fatalf("job after exec panic = %s / %q", final.Status, final.Error)
+	}
+	if got := s.Metrics().Server.PanicsRecovered; got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	// The server still serves normal traffic afterwards.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestHandlerPanicReturns500JSON(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	// Mount a deliberately panicking route behind the same recovery
+	// wrapper the real handler uses.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	ts := httptest.NewServer(s.recoverPanics(mux))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panicking handler tore down the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "kaboom") {
+		t.Fatalf("500 body = %+v (err %v), want JSON mentioning the panic", eb, err)
+	}
+	if got := s.Metrics().Server.PanicsRecovered; got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+}
+
+// TestLoadSheddingDegradesGracefully: above the shed threshold, expensive
+// experiment jobs are rejected with 429 while single sim points still
+// admit; below it, both kinds admit.
+func TestLoadSheddingDegradesGracefully(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{}, 8)
+	s, ts := testServer(t, Config{Workers: 1, QueueSize: 8, ShedThreshold: 2},
+		func(*Job) (any, error) { started <- struct{}{}; <-release; return "ok", nil })
+
+	// An experiment admits while the queue is calm.
+	resp, _, _ := postJob(t, ts, `{"experiment":{"name":"cost"}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("calm experiment submit: %d, want 202", resp.StatusCode)
+	}
+	<-started // the worker holds this job; everything below queues
+
+	// Fill the queue to the shed threshold with single points.
+	for _, b := range []string{"gcc", "xz"} {
+		resp, _, _ := postJob(t, ts, fmt.Sprintf(`{"sim":{"bench":%q}}`, b))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("sim %s: %d, want 202", b, resp.StatusCode)
+		}
+	}
+
+	// Queue depth is now at the threshold: experiments shed, sims admit.
+	resp, raw, _ := postJob(t, ts, `{"experiment":{"name":"table3"}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("experiment under pressure: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if !strings.Contains(string(raw), "shedding") {
+		t.Fatalf("shed body = %s", raw)
+	}
+	resp, _, _ = postJob(t, ts, `{"sim":{"bench":"leela"}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sim under pressure: %d, want 202 (only experiments shed)", resp.StatusCode)
+	}
+	m := s.Metrics().Server
+	if m.JobsShed != 1 || m.JobsRejected != 1 {
+		t.Fatalf("metrics = %+v, want 1 shed", m)
+	}
+}
+
+// TestSSEInjectedDropResumes cuts the event stream with an injected fault
+// and verifies a Last-Event-ID resume observes the complete, gapless
+// sequence — the degraded network path the client retries over.
+func TestSSEInjectedDropResumes(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := testServer(t, Config{
+		ProgressInterval: 5 * time.Millisecond,
+		Faults:           faults.New(faults.Config{Seed: 1, StreamDrop: 1.0, MaxConsecutive: 2}),
+	}, func(*Job) (any, error) { <-release; return "streamed", nil })
+	_, _, ji := postJob(t, ts, `{"sim":{"bench":"gcc"}}`)
+
+	var seqs []int
+	last := -1
+	streamOnce := func() bool { // returns true when the terminal event arrived
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+ji.ID+"/events", nil)
+		if last >= 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(last))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		terminal := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data:") {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE payload: %v", err)
+			}
+			seqs = append(seqs, ev.Seq)
+			last = ev.Seq
+			if ev.Job.Terminal() {
+				terminal = true
+			}
+		}
+		return terminal
+	}
+
+	drops := 0
+	if streamOnce() {
+		t.Fatal("first stream ended terminally; the injected drop never fired")
+	}
+	drops++
+	go func() { time.Sleep(20 * time.Millisecond); close(release) }()
+	for !streamOnce() {
+		drops++
+		if drops > 10 {
+			t.Fatal("stream never reached the terminal event")
+		}
+	}
+	if drops < 2 {
+		t.Fatalf("observed %d drops, want >= 2 (MaxConsecutive)", drops)
+	}
+	for i, seq := range seqs {
+		if seq != i {
+			t.Fatalf("event sequence has a gap or repeat at %d: %v", i, seqs)
+		}
+	}
 }

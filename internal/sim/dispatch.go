@@ -37,11 +37,13 @@ func ValidExperiment(name string) bool {
 }
 
 // ScaleNames lists the scale presets ParseScale accepts.
-func ScaleNames() []string { return []string{"quick", "medium", "full"} }
+func ScaleNames() []string { return []string{"tiny", "quick", "medium", "full"} }
 
 // ParseScale resolves a preset name to its Scale.
 func ParseScale(name string) (Scale, error) {
 	switch name {
+	case "tiny":
+		return Tiny(), nil
 	case "quick":
 		return Quick(), nil
 	case "medium":

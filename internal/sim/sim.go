@@ -28,6 +28,20 @@ type Scale struct {
 	Seed uint64
 }
 
+// Tiny is the chaos/smoke-test scale: the whole experiment suite in
+// seconds, so fault-injection runs can afford to execute it several
+// times over (baseline, faulted, resumed). Orderings are NOT guaranteed
+// stable at this scale — it exists to exercise plumbing, not science.
+func Tiny() Scale {
+	return Scale{
+		MaxCycles:       700_000,
+		WarmupCycles:    120_000,
+		Intervals:       []uint64{100_000, 300_000},
+		DefaultInterval: 300_000,
+		Seed:            2022,
+	}
+}
+
 // Quick returns a unit-test scale: small but large enough that the
 // orderings the paper reports are stable.
 func Quick() Scale {
