@@ -7,14 +7,16 @@ BASELINE_COLD ?= 385
 BASELINE_STEP ?= 1661
 BASELINE_NOTE ?= pre-optimization main, hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke
+.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke cluster-smoke
 
 # ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
 # and the experiments that drive it), a 1-iteration benchmark smoke so the
-# perf-tracking layer can't rot unnoticed, and a short chaos run so the
-# self-healing path can't either.
-ci: vet build test race benchsmoke chaossmoke
+# perf-tracking layer can't rot unnoticed, a short chaos run so the
+# self-healing path can't either, and a cluster smoke (coordinator, two
+# worker processes, one killed mid-sweep) so distributed runs stay
+# bit-identical to local ones.
+ci: vet build test race benchsmoke chaossmoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,18 +37,24 @@ race:
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race ./internal/harness/...
 	$(GO) test -race -short ./internal/sim/...
+	$(GO) test -race -short ./internal/cluster/...
 	$(GO) test -race ./internal/server/...
 
 # chaos is the fault-injection gate: hybpexp -scale tiny under a pinned
 # seeded fault schedule (worker panics, transient errors, cache corruption,
 # torn writes, kill-and-resume on one cache dir), asserting the healed
-# output is byte-identical to a fault-free baseline. chaossmoke is the
-# three-experiment subset ci runs.
+# output is byte-identical to a fault-free baseline — plus the distributed
+# variant, which kills a hybpworker process mid-sweep and asserts the
+# coordinator reassigns its leases and still matches local -j 1 output.
+# chaossmoke/cluster-smoke are the three-experiment subsets ci runs.
 chaos:
-	HYBP_CHAOS=full $(GO) test ./internal/chaos/ -v -count=1 -timeout 20m
+	HYBP_CHAOS=full HYBP_CLUSTER=full $(GO) test ./internal/chaos/ -v -count=1 -timeout 30m
 
 chaossmoke:
-	HYBP_CHAOS=smoke $(GO) test ./internal/chaos/ -count=1 -timeout 10m
+	HYBP_CHAOS=smoke $(GO) test ./internal/chaos/ -run TestChaos -count=1 -timeout 10m
+
+cluster-smoke:
+	HYBP_CLUSTER=smoke $(GO) test ./internal/chaos/ -run TestClusterChaos -count=1 -timeout 10m
 
 # serve runs the simulation daemon with a local cache directory.
 serve:

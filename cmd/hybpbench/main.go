@@ -11,6 +11,11 @@
 //	hybpbench -smoke                         1-iteration benchmarks only, no
 //	                                         experiment timing (the CI gate that
 //	                                         keeps bench code from rotting)
+//	hybpbench -baseline BENCH_PR3.json       compare mode: rerun the benchmarks
+//	                                         and print a regression table of
+//	                                         ns/op, B/op, allocs/op against the
+//	                                         pinned report; -strict exits
+//	                                         nonzero on >10% ns/op regressions
 //
 // The experiment run is content-hashed (FNV-1a over the JSON output with
 // the wall-clock "seconds" fields stripped), so two reports are
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,6 +38,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -94,6 +101,8 @@ func main() {
 		baseCold  = flag.Float64("baseline-cold", 0, "recorded pre-optimization cold-run seconds (annotates the report)")
 		baseStep  = flag.Float64("baseline-step", 0, "recorded pre-optimization pipeline-step ns/op")
 		baseNote  = flag.String("baseline-note", "", "provenance note for the baseline numbers")
+		baseFile  = flag.String("baseline", "", "compare mode: rerun benchmarks and diff ns/op, B/op, allocs/op against this pinned BENCH_*.json report instead of writing a new one")
+		strict    = flag.Bool("strict", false, "with -baseline, exit nonzero when any benchmark regresses more than 10% in ns/op")
 	)
 	flag.Parse()
 
@@ -121,6 +130,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hybpbench: %d benchmarks across %d packages\n",
 		len(rep.Benchmarks), len(benchPackages))
+
+	if *baseFile != "" {
+		regressions, err := compareBaseline(*baseFile, rep.Benchmarks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybpbench: -baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if *strict && regressions > 0 {
+			fmt.Fprintf(os.Stderr, "hybpbench: %d ns/op regression(s) above %.0f%% (strict mode)\n",
+				regressions, regressThresholdPct)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if !*smoke && !*skipExp {
 		et, err := runExperiment(*scale, *seed)
@@ -151,6 +174,83 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "hybpbench: wrote %s\n", *out)
+}
+
+// regressThresholdPct is the ns/op slowdown beyond which -strict fails:
+// micro-benchmark noise on shared CI hardware sits well under 10%, real
+// hot-path regressions don't.
+const regressThresholdPct = 10.0
+
+// compareBaseline diffs the just-measured benchmarks against a pinned
+// report, prints the regression table, and returns how many benchmarks
+// regressed more than regressThresholdPct in ns/op.
+func compareBaseline(path string, cur []benchEntry) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base report
+	if err := json.Unmarshal(b, &base); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return 0, fmt.Errorf("%s has no benchmarks to compare against", path)
+	}
+	baseBy := make(map[string]benchEntry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseBy[e.Package+"/"+e.Name] = e
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tbase ns/op\tnow ns/op\tΔns/op\tΔB/op\tΔallocs\t\n")
+	regressions := 0
+	matched := 0
+	for _, e := range cur {
+		id := e.Package + "/" + e.Name
+		be, ok := baseBy[id]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%.1f\tnew\t\t\t\n", id, e.NsPerOp)
+			continue
+		}
+		matched++
+		delete(baseBy, id)
+		ns := pctDelta(be.NsPerOp, e.NsPerOp)
+		flag := ""
+		if ns > regressThresholdPct {
+			flag = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%s\t%s\t%s\t%s\n",
+			id, be.NsPerOp, e.NsPerOp,
+			fmtPct(ns), fmtPct(pctDelta(be.BytesPerOp, e.BytesPerOp)),
+			fmtPct(pctDelta(be.AllocsPerOp, e.AllocsPerOp)), flag)
+	}
+	for id := range baseBy {
+		fmt.Fprintf(w, "%s\t%.1f\t-\tremoved\t\t\t\n", id, baseBy[id].NsPerOp)
+	}
+	if err := w.Flush(); err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(os.Stderr, "hybpbench: compared %d benchmarks against %s (generated %s): %d regression(s) > %.0f%% ns/op\n",
+		matched, path, base.GeneratedAt, regressions, regressThresholdPct)
+	return regressions, nil
+}
+
+// pctDelta is the percent change from base to cur; NaN when base is
+// unmeasured (zero) so the column renders blank instead of inventing a
+// ratio.
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return (cur - base) / base * 100
+}
+
+func fmtPct(p float64) string {
+	if math.IsNaN(p) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", p)
 }
 
 // benchLine matches `BenchmarkX-8  123  456 ns/op  7 B/op  8 allocs/op`

@@ -15,6 +15,12 @@
 //	GET  /metrics             expvar counters + latency histogram
 //	GET  /healthz, /readyz    probes (readyz goes 503 while draining)
 //
+// With -cluster the daemon is also a coordinator for hybpworker processes
+// (see internal/cluster): sim points are served over the work API —
+// POST /v1/cluster/workers, /v1/work/lease, /v1/work/{key}/heartbeat,
+// /v1/work/{key}/result, GET /v1/cluster — and execute remotely when
+// workers are registered, in-process otherwise.
+//
 // SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
 // in-flight jobs run to completion (up to -drain), then the listener
 // closes.
@@ -41,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/server"
 )
@@ -60,6 +67,9 @@ func main() {
 		debug     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off production surfaces by default)")
 		shed      = flag.Int("shed", 0, "queue depth at which experiment jobs shed with 429 while sim points still admit (0 = 3/4 of -queue, negative disables)")
 		faultSpec = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,exec.panic=0.05,stream.drop=0.2")
+		clusterOn = flag.Bool("cluster", false, "serve the distributed work API: hybpworker processes lease sim points; jobs still run in-process while no workers are registered")
+		leaseTTL  = flag.Duration("leasettl", 15*time.Second, "work-item lease TTL before crash reassignment (with -cluster)")
+		sseHB     = flag.Duration("sseheartbeat", 15*time.Second, "SSE keepalive ping interval")
 	)
 	flag.Parse()
 
@@ -72,6 +82,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybpd: -faults: %v\n", err)
 		os.Exit(1)
 	}
+	var coord *cluster.Coordinator
+	if *clusterOn {
+		coord = cluster.NewCoordinator(cluster.Options{LeaseTTL: *leaseTTL, Logf: logf})
+	}
 	s, err := server.New(server.Config{
 		QueueSize:        *queue,
 		Workers:          *workers,
@@ -79,8 +93,10 @@ func main() {
 		CacheDir:         *cacheDir,
 		JobTimeout:       *jobTO,
 		ProgressInterval: *progress,
+		SSEHeartbeat:     *sseHB,
 		ShedThreshold:    *shed,
 		Faults:           inj,
+		Coordinator:      coord,
 		Logf:             logf,
 	})
 	if err != nil {
@@ -140,8 +156,12 @@ func main() {
 		}
 	}()
 
-	log.Printf("hybpd: listening on %s (queue %d, %d sim workers, cachedir %q)",
-		*addr, *queue, *jobs, *cacheDir)
+	mode := "standalone"
+	if *clusterOn {
+		mode = fmt.Sprintf("coordinator (lease %s)", *leaseTTL)
+	}
+	log.Printf("hybpd: listening on %s (queue %d, %d sim workers, cachedir %q, %s)",
+		*addr, *queue, *jobs, *cacheDir, mode)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
 		os.Exit(1)

@@ -13,7 +13,14 @@
 //
 //	hybpexp [-scale tiny|quick|medium|full] [-nbench N] [-nmix N] [-intervals list] \
 //	        [-j N] [-cachedir DIR] [-progress] [-json] [-faults SPEC] \
+//	        [-worklisten ADDR [-minworkers N] [-leasettl D]] \
 //	        table1|table3|table6|fig2|fig5|fig6|fig7|fig8|tournament|brb|seeds|cost|all
+//
+// -worklisten turns the run into a cluster coordinator: hybpworker
+// processes lease sim points over the work API and results come back
+// bit-identical to a local run (see internal/cluster). -j then bounds
+// concurrently outstanding offers, so raise it well above one machine's
+// cores when the fleet is larger.
 //
 // -faults injects a deterministic fault schedule (see internal/faults) for
 // chaos testing: worker panics, transient errors, cache corruption, torn
@@ -28,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -35,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/harness"
 	"hybp/internal/sim"
@@ -58,6 +68,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON results to stdout instead of tables")
 		stats     = flag.Bool("stats", false, "emit a final harness-stats record (jobs submitted/deduped/executed) to stderr as JSON")
 		faultSpec = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,exec.panic=0.1,cache.corrupt=0.2,crashafter=20")
+		workAddr  = flag.String("worklisten", "", "serve the cluster work API on this address (e.g. 127.0.0.1:0) and offer every sim point to hybpworker processes; results stay bit-identical to a local run")
+		minWork   = flag.Int("minworkers", 1, "with -worklisten, wait for this many worker registrations (up to 30s) before offering jobs, so a sweep doesn't race its own fleet to the queue")
+		leaseTTL  = flag.Duration("leasettl", 15*time.Second, "with -worklisten, the work-item lease TTL before a crashed worker's items are reassigned")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -164,7 +177,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
 		os.Exit(2)
 	}
-	h, err := harness.New(harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw, Faults: inj})
+	hopts := harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw, Faults: inj}
+	var coord *cluster.Coordinator
+	if *workAddr != "" {
+		coord = cluster.NewCoordinator(cluster.Options{
+			LeaseTTL:   *leaseTTL,
+			MinWorkers: *minWork,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		mux := http.NewServeMux()
+		coord.Mount(mux)
+		ln, err := net.Listen("tcp", *workAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-worklisten: %v\n", err)
+			os.Exit(2)
+		}
+		// Parseable by scripts that need the resolved port of :0.
+		fmt.Fprintf(os.Stderr, "hybpexp: work API listening on %s\n", ln.Addr())
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		defer coord.Close()
+		hopts.Remote = coord
+	}
+	h, err := harness.New(hopts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "harness: %v\n", err)
 		os.Exit(2)
@@ -216,23 +254,30 @@ func main() {
 		// if it were science.
 		if err := h.FirstErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: job failed after retries: %v\n", name, err)
-			printStats(h, *stats)
+			printStats(h, coord, *stats)
 			os.Exit(1)
 		}
 	}
-	printStats(h, *stats)
+	printStats(h, coord, *stats)
 }
 
 // printStats emits the parseable stats line on stderr (stdout carries
 // results): the bench harness reads jobs submitted/deduped/executed from
-// here, the chaos test reads retries/panics/quarantines.
-func printStats(h *harness.Runner, enabled bool) {
+// here, the chaos test reads retries/panics/quarantines, the cluster
+// chaos test reads per-worker lease/expiry/reassignment counters.
+func printStats(h *harness.Runner, coord *cluster.Coordinator, enabled bool) {
 	if !enabled {
 		return
 	}
-	if err := json.NewEncoder(os.Stderr).Encode(struct {
-		Stats harness.Stats `json:"stats"`
-	}{h.Stats()}); err != nil {
+	rec := struct {
+		Stats   harness.Stats            `json:"stats"`
+		Cluster *cluster.MetricsSnapshot `json:"cluster,omitempty"`
+	}{Stats: h.Stats()}
+	if coord != nil {
+		snap := coord.Metrics()
+		rec.Cluster = &snap
+	}
+	if err := json.NewEncoder(os.Stderr).Encode(rec); err != nil {
 		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
 	}
 }

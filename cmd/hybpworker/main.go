@@ -1,0 +1,89 @@
+// Command hybpworker executes simulation points for a cluster coordinator
+// (hybpd -cluster, or hybpexp -worklisten). It registers over the work
+// API, leases batches of content-addressed sim points, runs them through a
+// local harness.Runner — inheriting retries, panic recovery, and the
+// -cachedir disk cache — and uploads FNV-1a-checksummed result JSON.
+// Results are pure functions of the leased spec, so any number of workers
+// (and any crash/reassignment history) produces output bit-identical to a
+// local run.
+//
+// A worker that dies simply stops heartbeating: the coordinator expires
+// its leases and hands the items to the next worker. SIGINT/SIGTERM
+// deregisters cleanly, returning in-flight leases immediately.
+//
+// Example:
+//
+//	hybpd -addr :8080 -cluster &
+//	hybpworker -coordinator http://127.0.0.1:8080 -j 8 -cachedir /var/cache/hybp
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"hybp/internal/cluster"
+	"hybp/internal/faults"
+	"hybp/internal/sim"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8080", "coordinator base URL")
+		jobs        = flag.Int("j", runtime.NumCPU(), "parallel simulation workers (also the default lease batch size)")
+		batch       = flag.Int("batch", 0, "sim points per lease request (default -j)")
+		cacheDir    = flag.String("cachedir", "", "on-disk result cache directory (shared format with hybpexp/hybpd)")
+		name        = flag.String("name", "", "worker label in coordinator logs and metrics (default host-pid)")
+		quiet       = flag.Bool("quiet", false, "suppress lifecycle logging")
+		faultSpec   = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,crashafter=20")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	inj, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpworker: -faults: %v\n", err)
+		os.Exit(1)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Jobs:        *jobs,
+		Batch:       *batch,
+		CacheDir:    *cacheDir,
+		Faults:      inj,
+		Logf:        logf,
+		Exec: func(_ string, spec json.RawMessage) (json.RawMessage, error) {
+			return sim.ExecutePoint(spec)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpworker: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hybpworker: %v\n", err)
+		os.Exit(1)
+	}
+	logf("hybpworker: done; %s", w.Stats())
+}

@@ -1,0 +1,225 @@
+// Cluster chaos: the distributed analogue of the fault-injection gate.
+// A real hybpexp coordinator (-worklisten) and real hybpworker processes
+// run a sweep; one worker is killed mid-flight by a deterministic
+// crashafter fault. The coordinator must expire the dead worker's leases,
+// reassign them, and still produce output byte-identical to a local -j 1
+// run. Opt-in via HYBP_CLUSTER (same reasoning as HYBP_CHAOS):
+//
+//	HYBP_CLUSTER=smoke  a three-experiment subset  (make ci / make cluster-smoke)
+//	HYBP_CLUSTER=full   the entire experiment suite (make chaos)
+package chaos
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hybp/internal/cluster"
+	"hybp/internal/faults"
+	"hybp/internal/harness"
+)
+
+// clusterRecord is the coordinator's stats line: harness stats plus the
+// cluster metrics snapshot hybpexp emits when -worklisten is active.
+type clusterRecord struct {
+	Stats   harness.Stats           `json:"stats"`
+	Cluster cluster.MetricsSnapshot `json:"cluster"`
+}
+
+func parseClusterStats(t *testing.T, stderr string) clusterRecord {
+	t.Helper()
+	for _, line := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(line, `{"stats":`) {
+			continue
+		}
+		var rec clusterRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad stats line %q: %v", line, err)
+		}
+		if len(rec.Cluster.Workers) == 0 {
+			t.Fatalf("stats record has no cluster section: %s", line)
+		}
+		return rec
+	}
+	t.Fatalf("no stats record in coordinator stderr:\n%s", stderr)
+	return clusterRecord{}
+}
+
+func clusterArgs(t *testing.T) []string {
+	switch os.Getenv("HYBP_CLUSTER") {
+	case "smoke":
+		return []string{"-scale", "tiny", "-nbench", "2", "-nmix", "2", "table1", "fig2", "cost"}
+	case "full", "1":
+		return []string{"-scale", "tiny", "all"}
+	}
+	t.Skip("set HYBP_CLUSTER=smoke|full to run the cluster chaos gate (make cluster-smoke / make chaos)")
+	return nil
+}
+
+func buildHybpworker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hybpworker")
+	out, err := exec.Command("go", "build", "-o", bin, "hybp/cmd/hybpworker").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build hybpworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startCoordinator launches hybpexp -worklisten and blocks until it prints
+// its resolved listen address, leaving the rest of stderr draining into a
+// channel delivered at process exit.
+func startCoordinator(t *testing.T, bin string, args ...string) (cmd *exec.Cmd, addr string, stdout *bytes.Buffer, stderrCh <-chan string) {
+	t.Helper()
+	cmd = exec.Command(bin, args...)
+	stdout = &bytes.Buffer{}
+	cmd.Stdout = stdout
+	ep, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(ep)
+	const marker = "work API listening on "
+	var lines []string
+	for sc.Scan() {
+		line := sc.Text()
+		lines = append(lines, line)
+		if i := strings.Index(line, marker); i >= 0 {
+			addr = strings.TrimSpace(line[i+len(marker):])
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("coordinator never printed its listen address; stderr:\n%s", strings.Join(lines, "\n"))
+	}
+	ch := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		ch <- strings.Join(lines, "\n")
+	}()
+	return cmd, addr, stdout, ch
+}
+
+// waitExit waits for a started process with a deadline.
+func waitExit(t *testing.T, name string, cmd *exec.Cmd, timeout time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exitErr *exec.ExitError
+		switch {
+		case err == nil:
+			return 0
+		case errors.As(err, &exitErr):
+			return exitErr.ExitCode()
+		default:
+			t.Fatalf("%s: wait: %v", name, err)
+		}
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		t.Fatalf("%s did not exit within %s", name, timeout)
+	}
+	return -1
+}
+
+// TestClusterChaosByteIdentical is the distributed capstone: local -j 1
+// ground truth, then a coordinator with two real worker processes — one of
+// which is killed mid-sweep — must converge to byte-identical output with
+// the orphaned leases visibly expired and reassigned.
+func TestClusterChaosByteIdentical(t *testing.T) {
+	exps := clusterArgs(t)
+	hybpexp := buildHybpexp(t)
+	hybpworker := buildHybpworker(t)
+	common := append([]string{"-json", "-stats", "-progress=false", "-seed", "2022"}, exps...)
+
+	// 1. Local ground truth.
+	base := run(t, hybpexp, append([]string{"-j", "1"}, common...)...)
+	if base.exitCode != 0 {
+		t.Fatalf("baseline exited %d:\n%s", base.exitCode, base.stderr)
+	}
+	if base.stats == nil || base.stats.Executed == 0 {
+		t.Fatalf("baseline executed nothing: %+v", base.stats)
+	}
+	want := normalize(t, base.stdout)
+
+	// 2. Distributed run: a short lease TTL so the kill converts into
+	// reassignment in seconds, -j above the fleet's core count so offers
+	// don't starve the batch leases.
+	coord, addr, coordOut, coordErr := startCoordinator(t, hybpexp, append([]string{
+		"-worklisten", "127.0.0.1:0", "-minworkers", "2", "-leasettl", "1s", "-j", "8",
+	}, common...)...)
+
+	// Worker 1 is the victim: a deterministic crash partway through the
+	// sweep (a quarter of the points, so plenty of work remains to
+	// reassign). Worker 2 is healthy and finishes the job.
+	crashAfter := base.stats.Executed / 4
+	if crashAfter == 0 {
+		crashAfter = 1
+	}
+	crasher := exec.Command(hybpworker,
+		"-coordinator", "http://"+addr, "-name", "crasher", "-j", "2",
+		"-faults", fmt.Sprintf("seed=7,crashafter=%d", crashAfter))
+	crasher.Stderr = &bytes.Buffer{}
+	if err := crasher.Start(); err != nil {
+		t.Fatal(err)
+	}
+	healthy := exec.Command(hybpworker, "-coordinator", "http://"+addr, "-name", "healthy", "-j", "2")
+	healthy.Stderr = &bytes.Buffer{}
+	if err := healthy.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := waitExit(t, "crasher worker", crasher, 5*time.Minute); code != faults.CrashExitCode {
+		t.Fatalf("crasher exited %d, want %d (CrashExitCode)\n%s",
+			code, faults.CrashExitCode, crasher.Stderr)
+	}
+	if code := waitExit(t, "coordinator", coord, 10*time.Minute); code != 0 {
+		t.Fatalf("coordinator exited %d\nstderr:\n%s", code, <-coordErr)
+	}
+	stderr := <-coordErr
+	// The healthy worker survives the coordinator; shut it down cleanly.
+	healthy.Process.Signal(syscall.SIGTERM)
+	waitExit(t, "healthy worker", healthy, time.Minute)
+
+	// 3. Byte-identical despite the mid-sweep kill.
+	if got := normalize(t, coordOut.String()); got != want {
+		t.Errorf("distributed output differs from local -j 1 baseline\nbaseline:\n%s\n\ndistributed:\n%s", want, got)
+	}
+
+	// 4. The stats record must prove the failure path actually ran.
+	rec := parseClusterStats(t, stderr)
+	if rec.Stats.Executed != 0 {
+		t.Errorf("coordinator executed %d points locally, want 0 (no fallback needed)", rec.Stats.Executed)
+	}
+	if rec.Stats.Remote != base.stats.Executed {
+		t.Errorf("coordinator resolved %d points remotely, baseline executed %d", rec.Stats.Remote, base.stats.Executed)
+	}
+	ct := rec.Cluster.Totals
+	if ct.Expired == 0 || ct.Reassigned == 0 {
+		t.Errorf("worker kill produced no lease churn: expired=%d reassigned=%d", ct.Expired, ct.Reassigned)
+	}
+	if ct.Completed != rec.Stats.Remote {
+		t.Errorf("cluster Completed = %d, harness Remote = %d", ct.Completed, rec.Stats.Remote)
+	}
+	if ct.LocalFallback != 0 {
+		t.Errorf("LocalFallback = %d, want 0 (healthy worker was live throughout)", ct.LocalFallback)
+	}
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"hybp/internal/harness"
+)
+
+// newTestCoord mounts a coordinator on an httptest server.
+func newTestCoord(t *testing.T, opts Options) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c := NewCoordinator(opts)
+	mux := http.NewServeMux()
+	c.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		c.Close()
+	})
+	return c, srv
+}
+
+// doPost posts in as JSON and decodes the body into out (when non-nil),
+// returning the HTTP status.
+func doPost(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func register(t *testing.T, srv *httptest.Server, name string) RegisterResponse {
+	t.Helper()
+	var resp RegisterResponse
+	if st := doPost(t, srv.URL+"/v1/cluster/workers", RegisterRequest{Name: name}, &resp); st != http.StatusOK {
+		t.Fatalf("register: status %d", st)
+	}
+	return resp
+}
+
+func leaseOnce(t *testing.T, srv *httptest.Server, workerID string, max int) LeaseResponse {
+	t.Helper()
+	var resp LeaseResponse
+	if st := doPost(t, srv.URL+"/v1/work/lease", LeaseRequest{WorkerID: workerID, Max: max}, &resp); st != http.StatusOK {
+		t.Fatalf("lease: status %d", st)
+	}
+	return resp
+}
+
+func uploadResult(t *testing.T, srv *httptest.Server, workerID, key string, payload []byte) (ResultResponse, int) {
+	t.Helper()
+	var resp ResultResponse
+	st := doPost(t, srv.URL+"/v1/work/"+url.PathEscape(key)+"/result",
+		ResultRequest{WorkerID: workerID, Sum: harness.Checksum(payload), Payload: payload}, &resp)
+	return resp, st
+}
+
+// execAsync runs Execute in a goroutine and delivers its three results.
+type execResult struct {
+	raw json.RawMessage
+	ok  bool
+	err error
+}
+
+func execAsync(c *Coordinator, key string) <-chan execResult {
+	ch := make(chan execResult, 1)
+	go func() {
+		raw, ok, err := c.Execute(key, json.RawMessage(`{"k":"`+key+`"}`))
+		ch <- execResult{raw, ok, err}
+	}()
+	return ch
+}
+
+func TestExecuteNoWorkersFallsBackImmediately(t *testing.T) {
+	c, _ := newTestCoord(t, Options{})
+	raw, ok, err := c.Execute("k1", json.RawMessage(`{}`))
+	if ok || err != nil || raw != nil {
+		t.Fatalf("Execute with no workers = (%s, %v, %v), want decline", raw, ok, err)
+	}
+	if got := c.Metrics().Totals.LocalFallback; got != 1 {
+		t.Fatalf("LocalFallback = %d, want 1", got)
+	}
+}
+
+func TestLeaseHeartbeatResultRoundTrip(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 5 * time.Second})
+	w := register(t, srv, "w")
+	if w.LeaseTTLMS != 5000 || w.HeartbeatMS <= 0 {
+		t.Fatalf("bad register response: %+v", w)
+	}
+
+	done := execAsync(c, "job-a")
+	lr := leaseOnce(t, srv, w.WorkerID, 4)
+	if len(lr.Items) != 1 || lr.Items[0].Key != "job-a" || lr.Items[0].Reassigned {
+		t.Fatalf("lease = %+v, want one fresh item job-a", lr)
+	}
+
+	var hb HeartbeatResponse
+	if st := doPost(t, srv.URL+"/v1/work/job-a/heartbeat", HeartbeatRequest{WorkerID: w.WorkerID}, &hb); st != http.StatusOK {
+		t.Fatalf("heartbeat: status %d", st)
+	}
+	if hb.LeaseTTLMS != 5000 {
+		t.Fatalf("heartbeat TTL = %d, want 5000", hb.LeaseTTLMS)
+	}
+
+	payload := []byte(`{"v":42}`)
+	rr, st := uploadResult(t, srv, w.WorkerID, "job-a", payload)
+	if st != http.StatusOK || rr.Duplicate {
+		t.Fatalf("upload: status %d dup %v", st, rr.Duplicate)
+	}
+
+	res := <-done
+	if !res.ok || res.err != nil || !bytes.Equal(res.raw, payload) {
+		t.Fatalf("Execute = (%s, %v, %v), want payload", res.raw, res.ok, res.err)
+	}
+	m := c.Metrics()
+	if m.Totals.Leased != 1 || m.Totals.Completed != 1 || m.Done != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if len(m.Workers) != 1 || m.Workers[0].Completed != 1 || !m.Workers[0].Live {
+		t.Fatalf("worker counters = %+v", m.Workers)
+	}
+}
+
+func TestChecksumMismatchRejected(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 5 * time.Second})
+	w := register(t, srv, "w")
+	done := execAsync(c, "job-b")
+	leaseOnce(t, srv, w.WorkerID, 1)
+
+	var eb errorBody
+	st := doPost(t, srv.URL+"/v1/work/job-b/result",
+		ResultRequest{WorkerID: w.WorkerID, Sum: "fnv1a:dead", Payload: []byte(`{"v":1}`)}, &eb)
+	if st != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: status %d, want 400", st)
+	}
+	if got := c.Metrics().Totals.Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+
+	// The job is still leased; a correct retry lands.
+	if _, st := uploadResult(t, srv, w.WorkerID, "job-b", []byte(`{"v":1}`)); st != http.StatusOK {
+		t.Fatalf("retry upload: status %d", st)
+	}
+	if res := <-done; !res.ok || res.err != nil {
+		t.Fatalf("Execute = %+v, want success", res)
+	}
+}
+
+func TestExpiredLeaseReassignedAndDuplicateDeduped(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 40 * time.Millisecond, WorkerTTL: time.Minute})
+	w1 := register(t, srv, "crasher")
+	w2 := register(t, srv, "healthy")
+
+	done := execAsync(c, "job-c")
+	if lr := leaseOnce(t, srv, w1.WorkerID, 1); len(lr.Items) != 1 {
+		t.Fatalf("w1 lease = %+v", lr)
+	}
+	// w1 goes silent (no heartbeats). The janitor must requeue the item
+	// and hand it to w2, marked reassigned.
+	deadline := time.Now().Add(5 * time.Second)
+	var got LeaseResponse
+	for {
+		got = leaseOnce(t, srv, w2.WorkerID, 1)
+		if len(got.Items) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("item was never reassigned to w2")
+		}
+	}
+	if !got.Items[0].Reassigned {
+		t.Fatalf("reassigned lease not marked: %+v", got.Items[0])
+	}
+
+	payload := []byte(`{"v":"from-w2"}`)
+	if _, st := uploadResult(t, srv, w2.WorkerID, "job-c", payload); st != http.StatusOK {
+		t.Fatalf("w2 upload failed: %d", st)
+	}
+	if res := <-done; !res.ok || !bytes.Equal(res.raw, payload) {
+		t.Fatalf("Execute = %+v, want w2 payload", res)
+	}
+
+	// w1 wakes up and uploads the same content: acknowledged as duplicate.
+	rr, st := uploadResult(t, srv, w1.WorkerID, "job-c", payload)
+	if st != http.StatusOK || !rr.Duplicate {
+		t.Fatalf("raced upload = status %d dup %v, want 200 duplicate", st, rr.Duplicate)
+	}
+
+	m := c.Metrics()
+	if m.Totals.Expired == 0 || m.Totals.Reassigned != 1 || m.Totals.Duplicates != 1 {
+		t.Fatalf("totals = %+v, want expiry+reassignment+duplicate", m.Totals)
+	}
+}
+
+func TestFleetDeathReleasesJobsToLocalExecution(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 20 * time.Millisecond, WorkerTTL: 40 * time.Millisecond})
+	w := register(t, srv, "mortal")
+	done := execAsync(c, "job-d")
+	if lr := leaseOnce(t, srv, w.WorkerID, 1); len(lr.Items) != 1 {
+		t.Fatalf("lease = %+v", lr)
+	}
+	// The worker dies outright: no heartbeats, no leases. Once its TTL
+	// passes, the fleet is empty and Execute must release to local.
+	res := <-done
+	if res.ok {
+		t.Fatalf("Execute = %+v, want local-fallback decline after fleet death", res)
+	}
+	if got := c.Metrics().Totals.LocalFallback; got != 1 {
+		t.Fatalf("LocalFallback = %d, want 1", got)
+	}
+}
+
+func TestDeregisterReturnsLeases(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: time.Minute})
+	w := register(t, srv, "leaver")
+	done := execAsync(c, "job-e")
+	if lr := leaseOnce(t, srv, w.WorkerID, 1); len(lr.Items) != 1 {
+		t.Fatalf("lease = %+v", lr)
+	}
+	if st := doPost(t, srv.URL+"/v1/cluster/workers/"+w.WorkerID+"/deregister", struct{}{}, nil); st != http.StatusOK {
+		t.Fatalf("deregister: status %d", st)
+	}
+	// Sole worker gone: the item must come back immediately (not after
+	// the minute-long lease TTL) as a local fallback.
+	select {
+	case res := <-done:
+		if res.ok {
+			t.Fatalf("Execute = %+v, want decline", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute still blocked after sole worker deregistered")
+	}
+	// A deregistered worker can no longer lease.
+	var eb errorBody
+	if st := doPost(t, srv.URL+"/v1/work/lease", LeaseRequest{WorkerID: w.WorkerID}, &eb); st != http.StatusNotFound {
+		t.Fatalf("lease after deregister: status %d, want 404", st)
+	}
+}
+
+func TestRemoteErrorSurfacesForLocalVerdict(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 5 * time.Second})
+	w := register(t, srv, "w")
+	done := execAsync(c, "job-f")
+	leaseOnce(t, srv, w.WorkerID, 1)
+	st := doPost(t, srv.URL+"/v1/work/job-f/result",
+		ResultRequest{WorkerID: w.WorkerID, Error: "spec rejected"}, nil)
+	if st != http.StatusOK {
+		t.Fatalf("error upload: status %d", st)
+	}
+	res := <-done
+	if !res.ok || res.err == nil {
+		t.Fatalf("Execute = %+v, want ok=true with error (local fallback verdict)", res)
+	}
+	if got := c.Metrics().Totals.Failed; got != 1 {
+		t.Fatalf("Failed = %d, want 1", got)
+	}
+}
+
+func TestMinWorkersTimesOutToLocal(t *testing.T) {
+	c := NewCoordinator(Options{MinWorkers: 2, MinWorkersWait: 50 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	_, ok, err := c.Execute("k", json.RawMessage(`{}`))
+	if ok || err != nil {
+		t.Fatalf("Execute = (%v, %v), want decline", ok, err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("Execute returned before the MinWorkers wait elapsed")
+	}
+}
+
+// TestWorkerRoundTrip drives the real Worker loop against a coordinator
+// with a stub executor: every Execute offer must come back resolved with
+// the worker-computed payload.
+func TestWorkerRoundTrip(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 2 * time.Second, MinWorkers: 1, MinWorkersWait: 10 * time.Second})
+	w, err := NewWorker(WorkerOptions{
+		Coordinator: srv.URL,
+		Name:        "unit",
+		Jobs:        2,
+		Exec: func(key string, spec json.RawMessage) (json.RawMessage, error) {
+			return json.Marshal(map[string]string{"echo": key})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(ctx) }()
+
+	const n = 9
+	results := make([]<-chan execResult, n)
+	for i := range results {
+		results[i] = execAsync(c, fmt.Sprintf("key-%d", i))
+	}
+	for i, ch := range results {
+		select {
+		case res := <-ch:
+			want := fmt.Sprintf(`{"echo":"key-%d"}`, i)
+			if !res.ok || res.err != nil || string(res.raw) != want {
+				t.Fatalf("key-%d: Execute = (%s, %v, %v), want %s", i, res.raw, res.ok, res.err, want)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("key-%d never resolved", i)
+		}
+	}
+	m := c.Metrics()
+	if m.Totals.Completed != n {
+		t.Fatalf("Completed = %d, want %d", m.Totals.Completed, n)
+	}
+	if st := w.Stats(); st.Executed != n {
+		t.Fatalf("worker harness executed %d, want %d", st.Executed, n)
+	}
+
+	cancel()
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not stop on context cancel")
+	}
+	// Clean shutdown deregistered the worker.
+	for _, wc := range c.Metrics().Workers {
+		if wc.Live {
+			t.Fatalf("worker still live after shutdown: %+v", wc)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"hybp/internal/harness"
+	"hybp/internal/sim"
+	"hybp/internal/workload"
+)
+
+// e2eExperiments is the chaos-smoke experiment set: one per-app sweep
+// (fig2), one SMT table (table1), one cost model (cost) — together they
+// exercise single-thread, SMT, and solo sim points.
+var e2eExperiments = []string{"table1", "fig2", "cost"}
+
+// runExperiments executes the e2e experiment set on a fresh runner and
+// returns each experiment's marshaled result plus the harness stats.
+func runExperiments(t *testing.T, hopts harness.Options, sc sim.Scale) (map[string][]byte, harness.Stats) {
+	t.Helper()
+	h, err := harness.New(hopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRunner(h)
+	defer r.Close()
+	benches := workload.FigureApps()[:2]
+	mixes := workload.Mixes()[:2]
+	out := make(map[string][]byte, len(e2eExperiments))
+	for _, name := range e2eExperiments {
+		res, err := r.Experiment(name, sc, benches, mixes)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := h.FirstErr(); err != nil {
+			t.Fatalf("%s: job failed: %v", name, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		out[name] = b
+	}
+	return out, h.Stats()
+}
+
+func e2eScale(t *testing.T) sim.Scale {
+	t.Helper()
+	name := "quick"
+	if testing.Short() {
+		name = "tiny"
+	}
+	sc, err := sim.ParseScale(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 2022
+	return sc
+}
+
+// TestDistributedDeterminism is the subsystem's core guarantee: the same
+// experiment sweep run locally at -j 1 and distributed across three
+// workers produces byte-identical results, and every lease/completion
+// counter reconciles with the harness's own accounting.
+func TestDistributedDeterminism(t *testing.T) {
+	sc := e2eScale(t)
+	local, localStats := runExperiments(t, harness.Options{Workers: 1}, sc)
+
+	coord, srv := newTestCoord(t, Options{
+		LeaseTTL:       10 * time.Second,
+		MinWorkers:     3,
+		MinWorkersWait: 30 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const nWorkers = 3
+	workers := make([]*Worker, nWorkers)
+	stopped := make(chan error, nWorkers)
+	for i := range workers {
+		w, err := NewWorker(WorkerOptions{
+			Coordinator: srv.URL,
+			Name:        fmt.Sprintf("e2e-%d", i),
+			Jobs:        2,
+			Exec: func(_ string, spec json.RawMessage) (json.RawMessage, error) {
+				return sim.ExecutePoint(spec)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		go func() { stopped <- w.Run(ctx) }()
+	}
+
+	dist, distStats := runExperiments(t, harness.Options{Workers: 8, Remote: coord}, sc)
+
+	for _, name := range e2eExperiments {
+		if !bytes.Equal(local[name], dist[name]) {
+			t.Errorf("%s: distributed result differs from local -j 1:\nlocal: %s\ndist:  %s",
+				name, local[name], dist[name])
+		}
+	}
+
+	// Counter reconciliation. Every point the local run executed, the
+	// distributed run resolved remotely — the coordinator-side harness
+	// itself executed nothing and never fell back.
+	if distStats.Executed != 0 {
+		t.Errorf("coordinator harness executed %d points locally, want 0", distStats.Executed)
+	}
+	if distStats.Remote != localStats.Executed {
+		t.Errorf("remote completions = %d, want %d (local run's executions)",
+			distStats.Remote, localStats.Executed)
+	}
+	m := coord.Metrics()
+	if m.Totals.Completed != distStats.Remote {
+		t.Errorf("coordinator Completed = %d, harness Remote = %d", m.Totals.Completed, distStats.Remote)
+	}
+	if m.Totals.LocalFallback != 0 || m.Totals.Failed != 0 || m.Totals.Expired != 0 || m.Totals.Reassigned != 0 {
+		t.Errorf("healthy run produced failure-path counters: %+v", m.Totals)
+	}
+	var perWorker, executed uint64
+	if len(m.Workers) != nWorkers {
+		t.Fatalf("metrics list %d workers, want %d", len(m.Workers), nWorkers)
+	}
+	for _, wc := range m.Workers {
+		perWorker += wc.Completed
+	}
+	if perWorker != m.Totals.Completed {
+		t.Errorf("per-worker Completed sums to %d, totals say %d", perWorker, m.Totals.Completed)
+	}
+	for _, w := range workers {
+		executed += w.Stats().Executed
+	}
+	if executed < distStats.Remote {
+		t.Errorf("workers executed %d points, fewer than the %d delivered remotely", executed, distStats.Remote)
+	}
+
+	// The same snapshot must be visible over the wire.
+	var wire MetricsSnapshot
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Totals.Completed != m.Totals.Completed || len(wire.Workers) != len(m.Workers) {
+		t.Errorf("GET /v1/cluster = %+v, want totals matching %+v", wire, m.Totals)
+	}
+
+	cancel()
+	for range workers {
+		select {
+		case <-stopped:
+		case <-time.After(15 * time.Second):
+			t.Fatal("worker did not stop")
+		}
+	}
+}

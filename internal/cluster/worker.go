@@ -1,0 +1,355 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"hybp/internal/faults"
+	"hybp/internal/harness"
+)
+
+// ExecFunc computes one work item: decode the canonical spec, run the pure
+// function, return the result JSON. cmd/hybpworker passes sim.ExecutePoint.
+type ExecFunc func(key string, spec json.RawMessage) (json.RawMessage, error)
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (scheme optional).
+	Coordinator string
+	// Name labels this worker in coordinator logs and metrics.
+	Name string
+	// Exec computes leased items. Required.
+	Exec ExecFunc
+	// Jobs bounds concurrent execution in the worker's harness (<= 0:
+	// NumCPU), and is also the default lease batch size.
+	Jobs int
+	// Batch overrides how many items to lease per request.
+	Batch int
+	// CacheDir enables the worker harness's on-disk result cache — a
+	// re-leased item a previous run already computed is served from disk.
+	CacheDir string
+	// Faults, when non-nil, is passed to the worker's harness (exec
+	// panics, cache damage, crash-after-N kills) and used to perturb the
+	// work API transport (conn.drop).
+	Faults *faults.Injector
+	// RegisterWait bounds how long Run retries initial registration while
+	// the coordinator is still coming up (default 30s).
+	RegisterWait time.Duration
+	// Logf, when non-nil, receives lifecycle lines. Silent by default.
+	Logf func(format string, args ...any)
+}
+
+// Worker leases work items from a coordinator, executes them through its
+// own harness.Runner — inheriting retries, panic recovery, and the disk
+// cache — and uploads checksummed results. It heartbeats every in-flight
+// item, so a healthy slow worker keeps its leases while a crashed one
+// loses them to reassignment.
+type Worker struct {
+	opts WorkerOptions
+	h    *harness.Runner
+	hc   *http.Client
+
+	id          string
+	leaseTTL    time.Duration
+	beatEvery   time.Duration
+	statsMu     sync.Mutex
+	leasedItems uint64
+	uploaded    uint64
+}
+
+// NewWorker builds a Worker and its private harness.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Exec == nil {
+		return nil, errors.New("cluster: WorkerOptions.Exec is required")
+	}
+	if opts.Coordinator == "" {
+		return nil, errors.New("cluster: WorkerOptions.Coordinator is required")
+	}
+	if !strings.Contains(opts.Coordinator, "://") {
+		opts.Coordinator = "http://" + opts.Coordinator
+	}
+	opts.Coordinator = strings.TrimRight(opts.Coordinator, "/")
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.RegisterWait <= 0 {
+		opts.RegisterWait = 30 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	h, err := harness.New(harness.Options{
+		Workers:  opts.Jobs,
+		CacheDir: opts.CacheDir,
+		Faults:   opts.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hc := &http.Client{}
+	if opts.Faults != nil {
+		hc.Transport = &faults.Transport{Inj: opts.Faults}
+	}
+	return &Worker{opts: opts, h: h, hc: hc}, nil
+}
+
+// Stats snapshots the worker harness's counters — Executed there is what
+// this worker actually simulated (disk hits excluded), the number the e2e
+// test reconciles against the coordinator's per-worker Completed.
+func (w *Worker) Stats() harness.Stats { return w.h.Stats() }
+
+// ID returns the coordinator-assigned worker id (empty before Run
+// registers).
+func (w *Worker) ID() string { return w.id }
+
+// Run registers and serves the lease/execute/upload loop until ctx is
+// canceled (clean deregister) or registration proves impossible.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.opts.Logf("hybpworker: registered as %s at %s (lease %v, heartbeat %v)",
+		w.id, w.opts.Coordinator, w.leaseTTL, w.beatEvery)
+	defer w.deregister()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		resp, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var se *statusError
+			if errors.As(err, &se) && se.status == http.StatusNotFound {
+				// Coordinator forgot us (restart, worker-TTL expiry
+				// during a long pause): re-register under a new id.
+				if rerr := w.register(ctx); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			w.opts.Logf("hybpworker: lease failed: %v", err)
+			if !sleepCtx(ctx, 250*time.Millisecond) {
+				return nil
+			}
+			continue
+		}
+		if len(resp.Items) == 0 {
+			continue // server-side long-poll already absorbed the wait
+		}
+		w.statsMu.Lock()
+		w.leasedItems += uint64(len(resp.Items))
+		w.statsMu.Unlock()
+		var wg sync.WaitGroup
+		for _, item := range resp.Items {
+			wg.Add(1)
+			go func(item WorkItem) {
+				defer wg.Done()
+				w.process(ctx, item)
+			}(item)
+		}
+		wg.Wait()
+	}
+}
+
+// process executes one leased item and uploads its outcome, heartbeating
+// the whole time (including while queued behind the harness semaphore —
+// a full pipeline must not look dead).
+func (w *Worker) process(ctx context.Context, item WorkItem) {
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		w.heartbeatLoop(ctx, item.Key, stop)
+	}()
+	fut := harness.Submit(w.h, item.Key, func() json.RawMessage {
+		raw, err := w.opts.Exec(item.Key, item.Spec)
+		if err != nil {
+			// The harness's panic recovery turns this into a retried,
+			// then terminal, typed error — same healing path as a
+			// simulator crash.
+			panic(fmt.Errorf("execute %s: %w", item.Key, err))
+		}
+		return raw
+	})
+	raw, err := fut.Result()
+	close(stop)
+	hb.Wait()
+	if ctx.Err() != nil {
+		return // shutting down: let the lease expire and be reassigned
+	}
+	w.upload(ctx, item.Key, raw, err)
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, key string, stop <-chan struct{}) {
+	t := time.NewTicker(w.beatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp HeartbeatResponse
+			err := w.post(ctx, "/v1/work/"+url.PathEscape(key)+"/heartbeat",
+				HeartbeatRequest{WorkerID: w.id}, &resp)
+			var se *statusError
+			if errors.As(err, &se) {
+				// 404: item abandoned; 409: lease lost to reassignment.
+				// Either way stop beating — keep computing, the upload
+				// dedupes harmlessly.
+				return
+			}
+			if err == nil && resp.LeaseTTLMS == 0 {
+				return // already resolved by a raced lessee
+			}
+		}
+	}
+}
+
+// upload posts the item's outcome with a small retry loop. Transport
+// errors and 5xx retry; 404 means the item was abandoned (drop it); a 400
+// checksum rejection retries too, since the payload was damaged in
+// transit, not at rest.
+func (w *Worker) upload(ctx context.Context, key string, raw json.RawMessage, execErr error) {
+	req := ResultRequest{WorkerID: w.id}
+	if execErr != nil {
+		req.Error = execErr.Error()
+	} else {
+		req.Sum = harness.Checksum(raw)
+		req.Payload = raw
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		var resp ResultResponse
+		err := w.post(ctx, "/v1/work/"+url.PathEscape(key)+"/result", req, &resp)
+		if err == nil {
+			w.statsMu.Lock()
+			w.uploaded++
+			w.statsMu.Unlock()
+			if resp.Duplicate {
+				w.opts.Logf("hybpworker: duplicate result for %s (raced lease)", key)
+			}
+			return
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.status == http.StatusNotFound {
+			return
+		}
+		w.opts.Logf("hybpworker: upload %s failed (attempt %d): %v", key, attempt+1, err)
+		if !sleepCtx(ctx, time.Duration(50*(attempt+1))*time.Millisecond) {
+			return
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	deadline := time.Now().Add(w.opts.RegisterWait)
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, "/v1/cluster/workers", RegisterRequest{Name: w.opts.Name}, &resp)
+		if err == nil {
+			w.id = resp.WorkerID
+			w.leaseTTL = time.Duration(resp.LeaseTTLMS) * time.Millisecond
+			w.beatEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			if w.beatEvery <= 0 {
+				w.beatEvery = 5 * time.Second
+			}
+			return nil
+		}
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			return fmt.Errorf("cluster: register with %s: %w", w.opts.Coordinator, err)
+		}
+		if !sleepCtx(ctx, 250*time.Millisecond) {
+			return ctx.Err()
+		}
+	}
+}
+
+func (w *Worker) deregister() {
+	// Best-effort, short-fused: Run's ctx is already canceled.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = w.post(ctx, "/v1/cluster/workers/"+url.PathEscape(w.id)+"/deregister", struct{}{}, nil)
+	w.h.Close()
+}
+
+func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
+	batch := w.opts.Batch
+	if batch <= 0 {
+		batch = w.opts.Jobs
+	}
+	var resp LeaseResponse
+	err := w.post(ctx, "/v1/work/lease", LeaseRequest{WorkerID: w.id, Max: batch}, &resp)
+	return resp, err
+}
+
+// statusError is a non-2xx work-API response.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("coordinator returned %d: %s", e.status, e.msg)
+}
+
+// post is the worker's whole HTTP client: JSON in, JSON out, typed status
+// errors. Deliberately minimal — internal/server/client wraps the job API
+// for humans; the work API needs only this.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		_ = json.Unmarshal(body, &eb)
+		if eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(body))
+		}
+		return &statusError{status: resp.StatusCode, msg: eb.Error}
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}
+
+// sleepCtx sleeps d unless ctx ends first, reporting whether it slept the
+// full duration.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -57,8 +57,11 @@ func (c *diskCache) path(key string) string {
 	return filepath.Join(c.dir, clean+".json")
 }
 
-// sum is the FNV-1a checksum stored with every entry.
-func sum(payload []byte) string {
+// Checksum is the FNV-1a checksum string stored with every disk-cache
+// entry and carried by every cluster result upload — one envelope format
+// for both transports, so a worker's upload and a local cache write are
+// verified identically.
+func Checksum(payload []byte) string {
 	h := fnv.New64a()
 	h.Write(payload)
 	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
@@ -77,7 +80,7 @@ func (c *diskCache) get(key string, out any) bool {
 		return false
 	}
 	var e entry
-	if err := json.Unmarshal(b, &e); err != nil || e.Sum == "" || e.Sum != sum(e.Payload) {
+	if err := json.Unmarshal(b, &e); err != nil || e.Sum == "" || e.Sum != Checksum(e.Payload) {
 		c.quarantine(p)
 		return false
 	}
@@ -111,7 +114,7 @@ func (c *diskCache) put(key string, v any) {
 	// The checksum binds the intended payload; injected damage happens
 	// after, exactly like real bit rot — so the reader's verification must
 	// catch it.
-	s := sum(payload)
+	s := Checksum(payload)
 	switch c.inj.Decide(faults.OpCacheWrite, key).Kind {
 	case faults.Err:
 		return // injected write failure: entry simply never lands

@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -23,6 +24,29 @@ import (
 
 	"hybp/internal/faults"
 )
+
+// RemoteExec lets an external execution fabric (internal/cluster's
+// coordinator) take over jobs submitted with a canonical spec. The runner
+// offers each such job before executing it locally:
+//
+//   - ok == false: no remote capacity (no workers registered, fabric shut
+//     down) — the runner executes the job in-process, so single-node
+//     behavior is unchanged.
+//   - ok == true, err == nil: raw is the job's result JSON, produced by a
+//     remote worker running the identical pure function of the spec. The
+//     runner decodes it in place of executing.
+//   - ok == true, err != nil: the fabric tried and failed permanently
+//     (worker-side retries exhausted). The runner falls back to local
+//     execution, which renders the definitive verdict — a genuinely
+//     poisoned job still fails with a typed JobError, while a job that
+//     only a remote environment broke heals silently.
+//
+// Execute may block while the job is leased, heartbeated, and (after a
+// worker crash) reassigned; it is called from a worker-pool goroutine, so
+// Options.Workers bounds the number of concurrently outstanding offers.
+type RemoteExec interface {
+	Execute(key string, spec json.RawMessage) (raw json.RawMessage, ok bool, err error)
+}
 
 // Options configures a Runner.
 type Options struct {
@@ -43,6 +67,10 @@ type Options struct {
 	// Faults, when non-nil, injects deterministic faults into cache and
 	// worker operations (chaos testing). nil — the default — is free.
 	Faults *faults.Injector
+	// Remote, when non-nil, offers every spec-carrying job to an external
+	// execution fabric before running it locally (see RemoteExec). Jobs
+	// submitted without a spec always execute in-process.
+	Remote RemoteExec
 }
 
 // Stats is a snapshot of a Runner's counters. It is the one source of
@@ -56,9 +84,11 @@ type Stats struct {
 	Submitted uint64 `json:"submitted"`
 	Deduped   uint64 `json:"deduped"`
 	// Executed counts jobs computed by running their function; DiskHits
-	// counts jobs satisfied from the on-disk cache instead.
+	// counts jobs satisfied from the on-disk cache instead; Remote counts
+	// jobs resolved by a remote worker through the Options.Remote fabric.
 	Executed uint64 `json:"executed"`
 	DiskHits uint64 `json:"disk_hits"`
+	Remote   uint64 `json:"remote"`
 	// Completed counts resolved jobs (executed or disk-hit).
 	Completed uint64 `json:"completed"`
 	// Retries counts re-executions after transient failures (injected
@@ -82,6 +112,9 @@ func (s Stats) Unique() uint64 { return s.Submitted - s.Deduped }
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d jobs (%d submits, %d deduped), %d executed, %d disk hits",
 		s.Unique(), s.Submitted, s.Deduped, s.Executed, s.DiskHits)
+	if s.Remote > 0 {
+		out += fmt.Sprintf(", %d remote", s.Remote)
+	}
 	if s.Retries+s.Panics+s.Quarantines+s.Failed > 0 {
 		out += fmt.Sprintf("; healed: %d retries, %d panics recovered, %d quarantines, %d failed",
 			s.Retries, s.Panics, s.Quarantines, s.Failed)
@@ -91,11 +124,12 @@ func (s Stats) String() string {
 
 // Runner schedules deduplicated jobs across a bounded worker pool.
 type Runner struct {
-	sem   chan struct{}
-	disk  *diskCache
-	rep   *reporter
-	inj   *faults.Injector
-	retry RetryPolicy
+	sem    chan struct{}
+	disk   *diskCache
+	rep    *reporter
+	inj    *faults.Injector
+	retry  RetryPolicy
+	remote RemoteExec
 
 	mu       sync.Mutex
 	futures  map[string]*future
@@ -103,7 +137,7 @@ type Runner struct {
 	wg       sync.WaitGroup
 
 	submitted, deduped, executed, diskHits, completed atomic.Uint64
-	retries, panics, quarantines, failed              atomic.Uint64
+	retries, panics, quarantines, failed, remoteDone  atomic.Uint64
 	budgetLeft                                        atomic.Uint64
 }
 
@@ -118,6 +152,7 @@ func New(opts Options) (*Runner, error) {
 		futures: make(map[string]*future),
 		inj:     opts.Faults,
 		retry:   opts.Retry.withDefaults(),
+		remote:  opts.Remote,
 	}
 	r.budgetLeft.Store(r.retry.Budget)
 	if opts.CacheDir != "" {
@@ -149,6 +184,7 @@ func (r *Runner) Stats() Stats {
 		Deduped:         r.deduped.Load(),
 		Executed:        r.executed.Load(),
 		DiskHits:        r.diskHits.Load(),
+		Remote:          r.remoteDone.Load(),
 		Completed:       r.completed.Load(),
 		Retries:         r.retries.Load(),
 		Panics:          r.panics.Load(),
@@ -226,6 +262,15 @@ func (f Future[T]) Result() (T, error) {
 // The intended pattern is two-phase: submit every job of an experiment
 // first, then Get them in deterministic (enumeration) order.
 func Submit[T any](r *Runner, key string, fn func() T) Future[T] {
+	return SubmitSpec(r, key, nil, fn)
+}
+
+// SubmitSpec is Submit for jobs that also carry their canonical spec — the
+// JSON config the key was derived from. The spec is what makes a job
+// portable: when the Runner has a Remote fabric, the (key, spec) pair is
+// offered to remote workers, which recompute the identical pure function
+// and return the result JSON. A nil spec pins the job to local execution.
+func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T) Future[T] {
 	r.submitted.Add(1)
 	r.mu.Lock()
 	if f, ok := r.futures[key]; ok {
@@ -253,6 +298,24 @@ func Submit[T any](r *Runner, key string, fn func() T) Future[T] {
 				f.val = v
 				return
 			}
+		}
+		if r.remote != nil && spec != nil {
+			if raw, ok, err := r.remote.Execute(key, spec); ok && err == nil {
+				var v T
+				if err := json.Unmarshal(raw, &v); err == nil {
+					r.remoteDone.Add(1)
+					f.val = v
+					if r.disk != nil {
+						r.disk.put(key, v)
+					}
+					return
+				}
+				// An undecodable remote payload (schema drift between
+				// coordinator and worker builds) degrades to local
+				// execution rather than failing the job.
+			}
+			// ok == false (no workers) or err != nil (remote gave up):
+			// fall through and execute in-process.
 		}
 		v, err := runWithRetry(r, key, fn)
 		if err != nil {

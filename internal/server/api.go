@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hybp/internal/cluster"
 	"hybp/internal/harness"
 	"hybp/internal/sim"
 	"hybp/internal/workload"
@@ -190,6 +191,9 @@ type MetricsSnapshot struct {
 	Server       ServerCounters  `json:"server"`
 	Harness      harness.Stats   `json:"harness"`
 	JobLatencyMS LatencySnapshot `json:"job_latency_ms"`
+	// Cluster is present only when the server runs as a coordinator:
+	// per-worker lease/completion counters and queue state.
+	Cluster *cluster.MetricsSnapshot `json:"cluster,omitempty"`
 	// SimulatedCycles is the cumulative virtual cycles simulated by this
 	// process (pipeline.TotalSimulatedCycles). Load tests subtract two
 	// snapshots to report simulator-side cycles/sec independently of

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hybp/internal/cluster"
 	"hybp/internal/server"
 )
 
@@ -285,6 +286,15 @@ func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
 // Ready probes /readyz.
 func (c *Client) Ready(ctx context.Context) error {
 	return c.getJSON(ctx, "/readyz", nil)
+}
+
+// Cluster fetches the coordinator's work-API metrics: per-worker lease,
+// completion, expiry, and reassignment counters. A server not running as
+// a coordinator answers 404.
+func (c *Client) Cluster(ctx context.Context) (cluster.MetricsSnapshot, error) {
+	var m cluster.MetricsSnapshot
+	err := c.getJSON(ctx, "/v1/cluster", &m)
+	return m, err
 }
 
 // getJSON GETs path with the full retry policy — GETs are idempotent, so

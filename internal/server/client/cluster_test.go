@@ -1,0 +1,46 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hybp/internal/cluster"
+	"hybp/internal/server"
+)
+
+// TestClusterSnapshot exercises the Cluster accessor against a
+// coordinator-enabled server: with no workers the snapshot is empty but
+// well-formed, and a job that falls back to local execution is counted.
+func TestClusterSnapshot(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.Options{LeaseTTL: time.Second})
+	t.Cleanup(coord.Close)
+	_, c := startServer(t, server.Config{Coordinator: coord})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	snap, err := c.Cluster(ctx)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if len(snap.Workers) != 0 || snap.Pending != 0 {
+		t.Fatalf("fresh coordinator snapshot = %+v, want empty", snap)
+	}
+
+	// No workers registered: the job must still complete via local
+	// fallback, visible in the snapshot.
+	ji, err := c.Run(ctx, tinySim("gcc", "hybp"))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ji.Status != server.StatusDone {
+		t.Fatalf("status = %s (err %q)", ji.Status, ji.Error)
+	}
+	snap, err = c.Cluster(ctx)
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if snap.Totals.LocalFallback == 0 {
+		t.Fatalf("snapshot after workerless job = %+v, want LocalFallback > 0", snap.Totals)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hybp/internal/cluster"
+	"hybp/internal/sim"
+)
+
+// TestSSEHeartbeatConfigurable proves the heartbeat pace is a Config
+// field, not a constant: at 20ms a short-lived stream sees pings that the
+// 15s default could never produce.
+func TestSSEHeartbeatConfigurable(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := testServer(t, Config{SSEHeartbeat: 20 * time.Millisecond}, func(*Job) (any, error) {
+		<-release
+		return "ok", nil
+	})
+	_, _, ji := postJob(t, ts, `{"sim":{"bench":"gcc"}}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ji.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Let a few heartbeat intervals elapse on the idle stream, then
+	// finish the job so the stream terminates.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		close(release)
+	}()
+	pings := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": ping") {
+			pings++
+		}
+	}
+	if pings < 2 {
+		t.Fatalf("saw %d heartbeat pings on an idle 150ms stream at 20ms pace, want >= 2", pings)
+	}
+}
+
+// TestClusterJobExecutesRemotely wires a coordinator into the server and
+// a real in-process worker against the server's own mux: a submitted sim
+// job must resolve through the work API, and /metrics must expose the
+// cluster section with reconciled counters.
+func TestClusterJobExecutesRemotely(t *testing.T) {
+	coord := cluster.NewCoordinator(cluster.Options{LeaseTTL: 5 * time.Second})
+	t.Cleanup(coord.Close)
+	s, ts := testServer(t, Config{Workers: 2, Coordinator: coord}, nil)
+
+	w, err := cluster.NewWorker(cluster.WorkerOptions{
+		Coordinator: ts.URL,
+		Name:        "srv-test",
+		Jobs:        2,
+		Exec: func(_ string, spec json.RawMessage) (json.RawMessage, error) {
+			return sim.ExecutePoint(spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopped := make(chan error, 1)
+	go func() { stopped <- w.Run(ctx) }()
+	// Wait for registration so the job is offered rather than falling
+	// back to local execution.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		live := false
+		for _, wc := range coord.Metrics().Workers {
+			live = live || wc.Live
+		}
+		if live {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	_, _, ji := postJob(t, ts, `{"sim":{"bench":"gcc","cycles":300000,"warmup":50000}}`)
+	final := waitDone(t, ts, ji.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("job status = %s (%s), want done", final.Status, final.Error)
+	}
+
+	m := s.Metrics()
+	if m.Cluster == nil {
+		t.Fatal("/metrics cluster section missing with a coordinator configured")
+	}
+	// A sim job runs two points: the mechanism and its flush baseline.
+	if m.Cluster.Totals.Completed != 2 || m.Harness.Remote != 2 {
+		t.Fatalf("cluster Completed = %d, harness Remote = %d, want 2 and 2",
+			m.Cluster.Totals.Completed, m.Harness.Remote)
+	}
+	if m.Harness.Executed != 0 {
+		t.Fatalf("server harness executed %d points locally, want 0", m.Harness.Executed)
+	}
+
+	// The same section must be served over the wire.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Cluster == nil || wire.Cluster.Totals.Completed != 2 {
+		t.Fatalf("GET /metrics cluster = %+v, want Completed 2", wire.Cluster)
+	}
+
+	cancel()
+	select {
+	case <-stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not stop")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/harness"
 	"hybp/internal/pipeline"
@@ -35,6 +36,10 @@ type Config struct {
 	JobTimeout time.Duration
 	// ProgressInterval paces SSE progress events (default 1s).
 	ProgressInterval time.Duration
+	// SSEHeartbeat paces the comment pings that keep idle SSE streams
+	// alive through proxies (default 15s). Tests and the cluster work API
+	// lower it so liveness signals don't cost wall-clock seconds.
+	SSEHeartbeat time.Duration
 	// Logf, when set, receives one line per admission/completion.
 	Logf func(format string, args ...any)
 	// ShedThreshold is the queue depth at which whole-experiment jobs are
@@ -45,6 +50,12 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic faults into the harness
 	// (cache, worker execution) and the SSE streams (chaos testing only).
 	Faults *faults.Injector
+	// Coordinator, when non-nil, makes this server a cluster coordinator:
+	// its work API is mounted on the same mux, every spec-carrying harness
+	// job is offered to registered hybpworker processes, and /metrics
+	// grows a cluster section. Jobs still execute in-process whenever no
+	// workers are registered.
+	Coordinator *cluster.Coordinator
 
 	// execOverride replaces job execution in tests.
 	execOverride func(j *Job) (any, error)
@@ -88,13 +99,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProgressInterval <= 0 {
 		cfg.ProgressInterval = time.Second
 	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	if cfg.ShedThreshold == 0 {
 		cfg.ShedThreshold = max(1, cfg.QueueSize*3/4)
 	}
-	har, err := harness.New(harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir, Faults: cfg.Faults})
+	hopts := harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir, Faults: cfg.Faults}
+	if cfg.Coordinator != nil {
+		hopts.Remote = cfg.Coordinator
+	}
+	har, err := harness.New(hopts)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -151,7 +169,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	var clu *cluster.MetricsSnapshot
+	if s.cfg.Coordinator != nil {
+		snap := s.cfg.Coordinator.Metrics()
+		clu = &snap
+	}
 	return MetricsSnapshot{
+		Cluster: clu,
 		Server: ServerCounters{
 			JobsSubmitted:   s.met.submitted.Value(),
 			JobsDeduped:     s.met.deduped.Value(),
@@ -192,6 +216,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		s.har.Close()
+		if s.cfg.Coordinator != nil {
+			s.cfg.Coordinator.Close()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -216,6 +243,9 @@ func (s *Server) routes() *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.Coordinator != nil {
+		s.cfg.Coordinator.Mount(mux)
+	}
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
 		draining := s.draining
@@ -384,7 +414,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			last = n
 		}
 	}
-	heartbeat := time.NewTicker(15 * time.Second)
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
 	defer heartbeat.Stop()
 	for {
 		evs, more, terminal := j.eventsSince(last)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -112,6 +113,33 @@ func (r *Runner) Experiment(name string, sc Scale, benches []string, mixes []wor
 		return costPrintable{HardwareCost(sc.Seed)}, nil
 	}
 	return nil, fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(ExperimentNames(), ", "))
+}
+
+// ExecutePoint decodes one canonical PointSpec off the wire and runs it,
+// returning the result's JSON encoding — the cluster worker's execution
+// entry point. Because a point is a pure function of its spec (seeds
+// derive from RootSeed and benchmark names, never from scheduling), the
+// returned bytes are identical to what the coordinator would have produced
+// executing the same point in-process; the work API's checksum envelope
+// and the disk cache both bind exactly these bytes.
+func ExecutePoint(spec json.RawMessage) (json.RawMessage, error) {
+	var sp PointSpec
+	if err := json.Unmarshal(spec, &sp); err != nil {
+		return nil, fmt.Errorf("sim: bad point spec: %w", err)
+	}
+	if err := sp.validate(); err != nil {
+		return nil, err
+	}
+	var v any
+	switch sp.Kind {
+	case PointSingle:
+		v = sp.runSingle()
+	case PointSMT:
+		v = sp.runSMT()
+	case PointSolo:
+		v = sp.runSolo()
+	}
+	return json.Marshal(v)
 }
 
 // costPrintable adapts the hardware-cost report to Printable. The

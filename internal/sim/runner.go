@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"hybp/internal/harness"
@@ -103,10 +104,14 @@ func (m MechSpec) build(threads int, seed uint64) secure.BPU {
 	}
 }
 
-// jobSpec is the canonical, JSON-serializable identity of one simulation
+// PointSpec is the canonical, JSON-serializable identity of one simulation
 // point. The content-addressed key and the job's private splitmix64 seed
-// both derive from it, so results are pure functions of this struct.
-type jobSpec struct {
+// both derive from it, so results are pure functions of this struct — which
+// is also what makes points portable: a cluster worker handed a PointSpec
+// recomputes the identical result bit-for-bit (ExecutePoint), so a
+// distributed sweep matches a local -j 1 run exactly. Field names and
+// declaration order are a stable wire format (they feed harness.Key).
+type PointSpec struct {
 	Kind     string // "single", "smt", or "solo"
 	Bench    string `json:",omitempty"` // single/solo
 	A, B     string `json:",omitempty"` // smt mix
@@ -116,6 +121,104 @@ type jobSpec struct {
 	Cycles   uint64
 	Warmup   uint64
 	RootSeed uint64
+}
+
+// Point kinds.
+const (
+	PointSingle = "single"
+	PointSMT    = "smt"
+	PointSolo   = "solo"
+)
+
+// canon is the spec's canonical JSON encoding — the payload of a cluster
+// work item and the bytes the job key is hashed over.
+func (sp PointSpec) canon() []byte {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		panic("sim: unmarshalable point spec: " + err.Error())
+	}
+	return b
+}
+
+// runSingle executes a "single" point: one context-switching thread. The
+// body is exactly the pre-cluster Single closure, so local and remote
+// execution share one code path.
+func (sp PointSpec) runSingle() pipeline.ThreadResult {
+	bpu := sp.Mech.build(1, sp.RootSeed)
+	core := pipeline.DefaultCoreConfig()
+	core.ExtraFrontEnd = sp.ExtraFE
+	s := pipeline.New(pipeline.Config{
+		Core: core,
+		BPU:  bpu,
+		Threads: []pipeline.ThreadSpec{{
+			Workload:      workload.Get(sp.Bench),
+			OtherWorkload: partnerOf(sp.Bench),
+			Seed:          wlSeed(sp.RootSeed, sp.Bench),
+		}},
+		SwitchInterval: sp.Interval,
+		MaxCycles:      sp.Cycles,
+		WarmupCycles:   sp.Warmup,
+	})
+	return s.Run().Threads[0]
+}
+
+// runSMT executes an "smt" point: a Table V mix, both threads measured.
+func (sp PointSpec) runSMT() pipeline.Result {
+	bpu := sp.Mech.build(2, sp.RootSeed)
+	s := pipeline.New(pipeline.Config{
+		Core: pipeline.DefaultCoreConfig(),
+		BPU:  bpu,
+		Threads: []pipeline.ThreadSpec{
+			{Workload: workload.Get(sp.A), OtherWorkload: partnerOf(sp.A), Seed: wlSeed(sp.RootSeed, sp.A)},
+			{Workload: workload.Get(sp.B), OtherWorkload: partnerOf(sp.B), Seed: wlSeed(sp.RootSeed, sp.B) ^ 0xF00},
+		},
+		SwitchInterval: sp.Interval,
+		MaxCycles:      sp.Cycles,
+		WarmupCycles:   sp.Warmup,
+	})
+	return s.Run()
+}
+
+// runSolo executes a "solo" point: one thread, no context switching.
+func (sp PointSpec) runSolo() pipeline.ThreadResult {
+	bpu := sp.Mech.build(1, sp.RootSeed)
+	s := pipeline.New(pipeline.Config{
+		Core:         pipeline.DefaultCoreConfig(),
+		BPU:          bpu,
+		Threads:      []pipeline.ThreadSpec{{Workload: workload.Get(sp.Bench), Seed: wlSeed(sp.RootSeed, sp.Bench)}},
+		MaxCycles:    sp.Cycles,
+		WarmupCycles: sp.Warmup,
+	})
+	return s.Run().Threads[0]
+}
+
+// validate rejects specs that would panic deep inside the simulator —
+// remote workers decode specs off the wire, so unknown names must surface
+// as typed errors, not worker crashes.
+func (sp PointSpec) validate() error {
+	switch sp.Kind {
+	case PointSingle, PointSolo:
+		if !workload.Has(sp.Bench) {
+			return fmt.Errorf("sim: unknown benchmark %q", sp.Bench)
+		}
+	case PointSMT:
+		if !workload.Has(sp.A) {
+			return fmt.Errorf("sim: unknown benchmark %q", sp.A)
+		}
+		if !workload.Has(sp.B) {
+			return fmt.Errorf("sim: unknown benchmark %q", sp.B)
+		}
+	default:
+		return fmt.Errorf("sim: unknown point kind %q (valid: %s, %s, %s)",
+			sp.Kind, PointSingle, PointSMT, PointSolo)
+	}
+	if !sp.Mech.Tournament && !ValidMechanism(sp.Mech.ID) {
+		return fmt.Errorf("sim: unknown mechanism %q", sp.Mech.ID)
+	}
+	if sp.Cycles == 0 || sp.Warmup >= sp.Cycles {
+		return fmt.Errorf("sim: bad cycle budget (cycles=%d, warmup=%d)", sp.Cycles, sp.Warmup)
+	}
+	return nil
 }
 
 // wlSeed derives a benchmark's synthetic-stream seed from the root seed
@@ -144,73 +247,32 @@ func (r *Runner) Single(sc Scale, bench string, m MechSpec, interval uint64) har
 
 // SingleFE is Single with extra front-end pipeline cycles (Figure 2).
 func (r *Runner) SingleFE(sc Scale, bench string, m MechSpec, interval uint64, extraFE int) harness.Future[pipeline.ThreadResult] {
-	spec := jobSpec{
-		Kind: "single", Bench: bench, Mech: m, Interval: interval,
+	spec := PointSpec{
+		Kind: PointSingle, Bench: bench, Mech: m, Interval: interval,
 		ExtraFE: extraFE, Cycles: sc.MaxCycles, Warmup: sc.WarmupCycles, RootSeed: sc.Seed,
 	}
 	key := harness.Key(fmt.Sprintf("single-%s-%s-iv%s", bench, m.tag(), fmtInterval(interval)), spec)
-	return harness.Submit(r.h, key, func() pipeline.ThreadResult {
-		bpu := m.build(1, sc.Seed)
-		core := pipeline.DefaultCoreConfig()
-		core.ExtraFrontEnd = extraFE
-		s := pipeline.New(pipeline.Config{
-			Core: core,
-			BPU:  bpu,
-			Threads: []pipeline.ThreadSpec{{
-				Workload:      workload.Get(bench),
-				OtherWorkload: partnerOf(bench),
-				Seed:          wlSeed(sc.Seed, bench),
-			}},
-			SwitchInterval: interval,
-			MaxCycles:      sc.MaxCycles,
-			WarmupCycles:   sc.WarmupCycles,
-		})
-		return s.Run().Threads[0]
-	})
+	return harness.SubmitSpec(r.h, key, spec.canon(), spec.runSingle)
 }
 
 // SMT schedules an SMT-2 measurement of a Table V mix on the given
 // mechanism, both threads measured, context switching on both.
 func (r *Runner) SMT(sc Scale, mix workload.Mix, m MechSpec, interval uint64) harness.Future[pipeline.Result] {
-	spec := jobSpec{
-		Kind: "smt", A: mix.A, B: mix.B, Mech: m, Interval: interval,
+	spec := PointSpec{
+		Kind: PointSMT, A: mix.A, B: mix.B, Mech: m, Interval: interval,
 		Cycles: sc.MaxCycles, Warmup: sc.WarmupCycles, RootSeed: sc.Seed,
 	}
 	key := harness.Key(fmt.Sprintf("smt-%s+%s-%s-iv%s", mix.A, mix.B, m.tag(), fmtInterval(interval)), spec)
-	return harness.Submit(r.h, key, func() pipeline.Result {
-		bpu := m.build(2, sc.Seed)
-		s := pipeline.New(pipeline.Config{
-			Core: pipeline.DefaultCoreConfig(),
-			BPU:  bpu,
-			Threads: []pipeline.ThreadSpec{
-				{Workload: workload.Get(mix.A), OtherWorkload: partnerOf(mix.A), Seed: wlSeed(sc.Seed, mix.A)},
-				{Workload: workload.Get(mix.B), OtherWorkload: partnerOf(mix.B), Seed: wlSeed(sc.Seed, mix.B) ^ 0xF00},
-			},
-			SwitchInterval: interval,
-			MaxCycles:      sc.MaxCycles,
-			WarmupCycles:   sc.WarmupCycles,
-		})
-		return s.Run()
-	})
+	return harness.SubmitSpec(r.h, key, spec.canon(), spec.runSMT)
 }
 
 // Solo schedules a lone, switch-free measurement of bench on the given
 // mechanism — the Hmean denominator and the tournament yardstick.
 func (r *Runner) Solo(sc Scale, bench string, m MechSpec) harness.Future[pipeline.ThreadResult] {
-	spec := jobSpec{
-		Kind: "solo", Bench: bench, Mech: m,
+	spec := PointSpec{
+		Kind: PointSolo, Bench: bench, Mech: m,
 		Cycles: sc.MaxCycles, Warmup: sc.WarmupCycles, RootSeed: sc.Seed,
 	}
 	key := harness.Key(fmt.Sprintf("solo-%s-%s", bench, m.tag()), spec)
-	return harness.Submit(r.h, key, func() pipeline.ThreadResult {
-		bpu := m.build(1, sc.Seed)
-		s := pipeline.New(pipeline.Config{
-			Core:         pipeline.DefaultCoreConfig(),
-			BPU:          bpu,
-			Threads:      []pipeline.ThreadSpec{{Workload: workload.Get(bench), Seed: wlSeed(sc.Seed, bench)}},
-			MaxCycles:    sc.MaxCycles,
-			WarmupCycles: sc.WarmupCycles,
-		})
-		return s.Run().Threads[0]
-	})
+	return harness.SubmitSpec(r.h, key, spec.canon(), spec.runSolo)
 }
