@@ -7,16 +7,17 @@ BASELINE_COLD ?= 385
 BASELINE_STEP ?= 1661
 BASELINE_NOTE ?= pre-optimization main, hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke cluster-smoke
+.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke cluster-smoke trace-smoke
 
 # ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
 # and the experiments that drive it), a 1-iteration benchmark smoke so the
 # perf-tracking layer can't rot unnoticed, a short chaos run so the
-# self-healing path can't either, and a cluster smoke (coordinator, two
+# self-healing path can't either, a cluster smoke (coordinator, two
 # worker processes, one killed mid-sweep) so distributed runs stay
-# bit-identical to local ones.
-ci: vet build test race benchsmoke chaossmoke cluster-smoke
+# bit-identical to local ones, and a trace smoke so -tracefile keeps
+# producing loadable Chrome trace JSON.
+ci: vet build test race benchsmoke chaossmoke cluster-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,7 @@ test:
 # closed-loop clients, which is exactly what the detector should watch.
 race:
 	$(GO) test -race ./internal/faults/...
+	$(GO) test -race ./internal/obs/...
 	$(GO) test -race ./internal/harness/...
 	$(GO) test -race -short ./internal/sim/...
 	$(GO) test -race -short ./internal/cluster/...
@@ -56,6 +58,11 @@ chaossmoke:
 cluster-smoke:
 	HYBP_CLUSTER=smoke $(GO) test ./internal/chaos/ -run TestClusterChaos -count=1 -timeout 10m
 
+# trace-smoke runs a real hybpexp tiny sweep with -tracefile and validates
+# the emitted Chrome trace-event JSON (structure + expected span names).
+trace-smoke:
+	HYBP_TRACE=smoke $(GO) test ./internal/chaos/ -run TestTraceSmoke -count=1 -timeout 10m
+
 # serve runs the simulation daemon with a local cache directory.
 serve:
 	$(GO) run ./cmd/hybpd -addr :8080 -cachedir .hybpd-cache
@@ -64,11 +71,13 @@ serve:
 loadtest:
 	$(GO) run ./cmd/hybpload -addr http://127.0.0.1:8080 -clients 8 -n 64
 
-# bench regenerates BENCH_PR3.json: full micro-benchmarks plus a timed
-# cold/warm `hybpexp -scale quick all` run with an output digest. Takes
-# minutes; run on an otherwise idle machine or the wall-clock is noise.
+# bench regenerates BENCH_PR7.json: full micro-benchmarks (diffed against
+# the pinned PR-3 report first, so the regression table is part of the run)
+# plus a timed cold/warm `hybpexp -scale quick all` run with an output
+# digest. Takes minutes; run on an otherwise idle machine or the wall-clock
+# is noise.
 bench:
-	$(GO) run ./cmd/hybpbench -out BENCH_PR3.json \
+	$(GO) run ./cmd/hybpbench -out BENCH_PR7.json -baseline BENCH_PR3.json \
 	    -baseline-cold $(BASELINE_COLD) -baseline-step $(BASELINE_STEP) \
 	    -baseline-note "$(BASELINE_NOTE)"
 

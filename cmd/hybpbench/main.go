@@ -131,18 +131,28 @@ func main() {
 	fmt.Fprintf(os.Stderr, "hybpbench: %d benchmarks across %d packages\n",
 		len(rep.Benchmarks), len(benchPackages))
 
+	// Compare mode historically discarded the fresh measurements. When -out
+	// is ALSO set explicitly, do both: print the regression table against
+	// the pinned report, then continue and write the new one — a re-baseline
+	// and its provenance in a single run.
+	strictFail := false
 	if *baseFile != "" {
 		regressions, err := compareBaseline(*baseFile, rep.Benchmarks)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybpbench: -baseline: %v\n", err)
 			os.Exit(1)
 		}
-		if *strict && regressions > 0 {
-			fmt.Fprintf(os.Stderr, "hybpbench: %d ns/op regression(s) above %.0f%% (strict mode)\n",
-				regressions, regressThresholdPct)
-			os.Exit(1)
+		strictFail = *strict && regressions > 0
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if !outSet {
+			if strictFail {
+				fmt.Fprintf(os.Stderr, "hybpbench: ns/op regression(s) above %.0f%% (strict mode)\n",
+					regressThresholdPct)
+				os.Exit(1)
+			}
+			return
 		}
-		return
 	}
 
 	if !*smoke && !*skipExp {
@@ -174,6 +184,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "hybpbench: wrote %s\n", *out)
+	if strictFail {
+		fmt.Fprintf(os.Stderr, "hybpbench: ns/op regression(s) above %.0f%% (strict mode)\n",
+			regressThresholdPct)
+		os.Exit(1)
+	}
 }
 
 // regressThresholdPct is the ns/op slowdown beyond which -strict fails:

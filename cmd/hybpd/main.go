@@ -38,7 +38,8 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -49,6 +50,7 @@ import (
 
 	"hybp/internal/cluster"
 	"hybp/internal/faults"
+	"hybp/internal/obs"
 	"hybp/internal/server"
 )
 
@@ -70,21 +72,32 @@ func main() {
 		clusterOn = flag.Bool("cluster", false, "serve the distributed work API: hybpworker processes lease sim points; jobs still run in-process while no workers are registered")
 		leaseTTL  = flag.Duration("leasettl", 15*time.Second, "work-item lease TTL before crash reassignment (with -cluster)")
 		sseHB     = flag.Duration("sseheartbeat", 15*time.Second, "SSE keepalive ping interval")
+		logJSON   = flag.Bool("logjson", false, "emit structured JSON log lines (job id, key, trace/span ids as fields)")
+		traceBuf  = flag.Int("tracebuf", obs.DefaultRingSize, "span ring capacity for GET /debug/trace (0 disables tracing)")
 	)
 	flag.Parse()
 
-	logf := log.Printf
+	logger := newLogger(*logJSON)
+	jobLog := logger
 	if *quiet {
-		logf = func(string, ...any) {}
+		jobLog = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	inj, err := faults.Parse(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybpd: -faults: %v\n", err)
 		os.Exit(1)
 	}
+	var tracer *obs.Tracer
+	if *traceBuf > 0 {
+		tracer = obs.NewTracer("hybpd", *traceBuf)
+	}
 	var coord *cluster.Coordinator
 	if *clusterOn {
-		coord = cluster.NewCoordinator(cluster.Options{LeaseTTL: *leaseTTL, Logf: logf})
+		coord = cluster.NewCoordinator(cluster.Options{
+			LeaseTTL: *leaseTTL,
+			Tracer:   tracer,
+			Logf:     slogf(jobLog.With("subsys", "cluster")),
+		})
 	}
 	s, err := server.New(server.Config{
 		QueueSize:        *queue,
@@ -97,7 +110,8 @@ func main() {
 		ShedThreshold:    *shed,
 		Faults:           inj,
 		Coordinator:      coord,
-		Logf:             logf,
+		Log:              jobLog,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
@@ -120,7 +134,7 @@ func main() {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		root.Handle("/", handler)
 		handler = root
-		log.Printf("hybpd: pprof enabled at /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -134,12 +148,12 @@ func main() {
 	go func() {
 		defer close(done)
 		sig := <-sigCh
-		log.Printf("hybpd: %s received, draining (deadline %s)", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "deadline", drain.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		drainErr := s.Drain(ctx)
 		if drainErr != nil {
-			log.Printf("hybpd: drain: %v", drainErr)
+			logger.Error("drain", "err", drainErr)
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil || drainErr != nil {
 			// The deadline expired with jobs or connections still live.
@@ -147,11 +161,11 @@ func main() {
 			// every connection (including stuck SSE streams) so exit is
 			// bounded by -drain, period.
 			if err != nil {
-				log.Printf("hybpd: shutdown: %v", err)
+				logger.Error("shutdown", "err", err)
 			}
-			log.Printf("hybpd: drain deadline exceeded, force-closing")
+			logger.Warn("drain deadline exceeded, force-closing")
 			if err := httpSrv.Close(); err != nil {
-				log.Printf("hybpd: close: %v", err)
+				logger.Error("close", "err", err)
 			}
 		}
 	}()
@@ -160,14 +174,32 @@ func main() {
 	if *clusterOn {
 		mode = fmt.Sprintf("coordinator (lease %s)", *leaseTTL)
 	}
-	log.Printf("hybpd: listening on %s (queue %d, %d sim workers, cachedir %q, %s)",
-		*addr, *queue, *jobs, *cacheDir, mode)
+	logger.Info("listening", "addr", *addr, "queue", *queue, "simworkers", *jobs,
+		"cachedir", *cacheDir, "mode", mode)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
 		os.Exit(1)
 	}
 	<-done
-	log.Printf("hybpd: drained; final stats: %s", s.Stats())
+	logger.Info("drained", "stats", s.Stats().String())
+}
+
+// newLogger builds the process logger: human-readable text by default,
+// one JSON object per line with -logjson (machine-ingestable; attrs carry
+// job ids, keys, and trace/span ids).
+func newLogger(jsonLines bool) *slog.Logger {
+	if jsonLines {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// slogf adapts a slog.Logger to the printf-style Logf hooks the cluster
+// package keeps for test-friendliness.
+func slogf(l *slog.Logger) func(string, ...any) {
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
 }
 
 // withRequestTimeout bounds every non-streaming request; the SSE endpoint

@@ -47,6 +47,7 @@ import (
 	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/harness"
+	"hybp/internal/obs"
 	"hybp/internal/sim"
 	"hybp/internal/workload"
 )
@@ -73,6 +74,7 @@ func main() {
 		leaseTTL  = flag.Duration("leasettl", 15*time.Second, "with -worklisten, the work-item lease TTL before a crashed worker's items are reassigned")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile = flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the run to this file (open in Perfetto / chrome://tracing); with -worklisten, worker spans are stitched into the same trace")
 	)
 	flag.Parse()
 
@@ -178,11 +180,25 @@ func main() {
 		os.Exit(2)
 	}
 	hopts := harness.Options{Workers: *jobs, CacheDir: *cacheDir, Progress: progw, Faults: inj}
+	// -tracefile records every harness job, retry attempt, cache write,
+	// remote offer, and (via result uploads) worker execution as spans under
+	// one per-run sweep root, exported as Chrome trace-event JSON at exit.
+	var (
+		tracer    *obs.Tracer
+		sweepSpan *obs.Span
+	)
+	if *traceFile != "" {
+		tracer = obs.NewTracer("hybpexp", 1<<16)
+		hopts.Tracer = tracer
+		hopts.TraceCtx, sweepSpan = tracer.StartRoot("sweep")
+		sweepSpan.SetString("scale", *scaleName)
+	}
 	var coord *cluster.Coordinator
 	if *workAddr != "" {
 		coord = cluster.NewCoordinator(cluster.Options{
 			LeaseTTL:   *leaseTTL,
 			MinWorkers: *minWork,
+			Tracer:     tracer,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
@@ -247,6 +263,30 @@ func main() {
 		flush(out)
 	}
 
+	// dumpTrace closes the sweep span and writes the Chrome trace; called on
+	// both exit paths (os.Exit skips defers).
+	dumpTrace := func() {
+		if tracer == nil {
+			return
+		}
+		sweepSpan.End()
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-tracefile: %v\n", err)
+			return
+		}
+		werr := obs.WriteChromeTrace(f, tracer.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "-tracefile: %v\n", werr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hybpexp: wrote trace (%d spans, %d evicted) to %s\n",
+			tracer.Len(), tracer.Evicted(), *traceFile)
+	}
+
 	for _, name := range names {
 		run(name)
 		// A job that exhausted its retries produced a zero-value point; the
@@ -254,10 +294,12 @@ func main() {
 		// if it were science.
 		if err := h.FirstErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: job failed after retries: %v\n", name, err)
+			dumpTrace()
 			printStats(h, coord, *stats)
 			os.Exit(1)
 		}
 	}
+	dumpTrace()
 	printStats(h, coord, *stats)
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"hybp/internal/cluster"
 	"hybp/internal/harness"
+	"hybp/internal/obs"
 	"hybp/internal/server"
 	"hybp/internal/server/client"
 	"hybp/internal/sim"
@@ -47,8 +48,9 @@ func main() {
 		seed     = flag.Uint64("seed", 2022, "simulation seed")
 		expEvery = flag.Int("exp-every", 0, "make every Nth job a quick experiment job (0 = sims only)")
 		expNames = flag.String("experiments", "cost,table3", "comma-separated experiment names -exp-every draws from")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
-		retries  = flag.Int("retries", 8, "per-call retry bound for 429/5xx/transport failures")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		retries   = flag.Int("retries", 8, "per-call retry bound for 429/5xx/transport failures")
+		traceFile = flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the client side of the run to this file (submits, waits; server spans land in hybpd's /debug/trace on the same trace ids)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,16 @@ func main() {
 	c := client.New(*addr)
 	c.MaxRetries = *retries
 	c.Counters = &client.Counters{}
+	var (
+		tracer   *obs.Tracer
+		loadSpan *obs.Span
+	)
+	if *traceFile != "" {
+		tracer = obs.NewTracer("hybpload", 1<<16)
+		c.Tracer = tracer
+		// ctx carries no span yet, so this opens a new trace root.
+		ctx, loadSpan = tracer.Start(ctx, "loadgen")
+	}
 
 	if err := c.Ready(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "hybpload: server not ready at %s: %v\n", *addr, err)
@@ -197,6 +209,22 @@ func main() {
 	case hd.Executed < hd.Submitted:
 		fmt.Printf("dedup: %d of %d simulation points coalesced or cache-hit\n",
 			hd.Submitted-hd.Executed, hd.Submitted)
+	}
+	if tracer != nil {
+		loadSpan.End()
+		if f, err := os.Create(*traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "hybpload: -tracefile: %v\n", err)
+		} else {
+			werr := obs.WriteChromeTrace(f, tracer.Snapshot())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "hybpload: -tracefile: %v\n", werr)
+			} else {
+				fmt.Printf("wrote trace (%d spans) to %s\n", tracer.Len(), *traceFile)
+			}
+		}
 	}
 	if failures.Load() > 0 {
 		os.Exit(1)

@@ -22,7 +22,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -30,6 +31,7 @@ import (
 
 	"hybp/internal/cluster"
 	"hybp/internal/faults"
+	"hybp/internal/obs"
 	"hybp/internal/sim"
 )
 
@@ -42,12 +44,18 @@ func main() {
 		name        = flag.String("name", "", "worker label in coordinator logs and metrics (default host-pid)")
 		quiet       = flag.Bool("quiet", false, "suppress lifecycle logging")
 		faultSpec   = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. seed=7,crashafter=20")
+		logJSON     = flag.Bool("logjson", false, "emit structured JSON log lines (worker id, keys, trace/span ids as fields)")
 	)
 	flag.Parse()
 
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	var logger *slog.Logger
+	switch {
+	case *quiet:
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	case *logJSON:
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	inj, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -61,6 +69,7 @@ func main() {
 		}
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	logger = logger.With("worker", *name)
 
 	w, err := cluster.NewWorker(cluster.WorkerOptions{
 		Coordinator: *coordinator,
@@ -69,7 +78,13 @@ func main() {
 		Batch:       *batch,
 		CacheDir:    *cacheDir,
 		Faults:      inj,
-		Logf:        logf,
+		// Spans for executed points are uploaded with each result and
+		// ingested into the coordinator's ring, so the worker ring only
+		// buffers in-flight work — it can stay small.
+		Tracer: obs.NewTracer(*name, 256),
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 		Exec: func(_ string, spec json.RawMessage) (json.RawMessage, error) {
 			return sim.ExecutePoint(spec)
 		},
@@ -85,5 +100,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hybpworker: %v\n", err)
 		os.Exit(1)
 	}
-	logf("hybpworker: done; %s", w.Stats())
+	logger.Info("done", "stats", w.Stats().String())
 }

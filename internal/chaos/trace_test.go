@@ -1,0 +1,78 @@
+// Trace smoke: the binary-level observability gate. A real hybpexp process
+// runs a tiny sweep with -tracefile and the resulting file must be valid
+// Chrome trace-event JSON containing the sweep root and per-job spans.
+// Opt-in via HYBP_TRACE=smoke (make trace-smoke / make ci) — same
+// env-gating as the chaos and cluster gates so `go test ./...` stays fast.
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybp/internal/obs"
+)
+
+func TestTraceSmoke(t *testing.T) {
+	if os.Getenv("HYBP_TRACE") == "" {
+		t.Skip("set HYBP_TRACE=smoke to run the trace smoke gate (make trace-smoke)")
+	}
+	hybpexp := buildHybpexp(t)
+	traceFile := filepath.Join(t.TempDir(), "sweep.json")
+
+	res := run(t, hybpexp,
+		"-scale", "tiny", "-nbench", "2", "-nmix", "2", "-seed", "2022",
+		"-json", "-progress=false", "-tracefile", traceFile,
+		"table1", "cost")
+	if res.exitCode != 0 {
+		t.Fatalf("hybpexp exited %d:\n%s", res.exitCode, res.stderr)
+	}
+	if !strings.Contains(res.stderr, "wrote trace") {
+		t.Fatalf("no trace-written confirmation on stderr:\n%s", res.stderr)
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nspans, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("invalid chrome trace: %v", err)
+	}
+	if nspans < 3 {
+		t.Fatalf("suspiciously small trace: %d spans", nspans)
+	}
+
+	// Structural spot-checks beyond validity: exactly one sweep root, and
+	// every job the run executed appears as a harness.job span with at
+	// least one harness.exec attempt beneath it (by name — the parenting
+	// chain itself is asserted in internal/cluster's e2e test).
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			count[ev.Name]++
+		}
+	}
+	if count["sweep"] != 1 {
+		t.Errorf("sweep spans = %d, want 1 (counts: %v)", count["sweep"], count)
+	}
+	if count["harness.job"] == 0 || count["harness.exec"] == 0 {
+		t.Errorf("missing job spans: %v", count)
+	}
+	if count["harness.exec"] < count["harness.job"]-count["harness.job"]/2 {
+		// Dedup means not every job executes, but a tiny cold run should
+		// execute most of them.
+		t.Errorf("exec spans (%d) implausibly few for %d jobs", count["harness.exec"], count["harness.job"])
+	}
+}

@@ -29,7 +29,11 @@
 // behavior unchanged.
 package cluster
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"hybp/internal/obs"
+)
 
 // RegisterRequest announces a worker to the coordinator.
 type RegisterRequest struct {
@@ -62,6 +66,11 @@ type WorkItem struct {
 	// Reassigned marks an item whose previous lease expired — it was
 	// handed out before, to a worker that crashed or stalled.
 	Reassigned bool `json:"reassigned,omitempty"`
+	// Trace/Span carry the coordinator-side span context of this item so
+	// the worker's spans parent under it — one distributed sweep, one
+	// trace. Empty when the coordinator runs untraced.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // LeaseResponse carries the batch. Empty Items means no work was pending
@@ -92,6 +101,10 @@ type ResultRequest struct {
 	Sum      string          `json:"sum,omitempty"`
 	Payload  json.RawMessage `json:"payload,omitempty"`
 	Error    string          `json:"error,omitempty"`
+	// Spans are the worker-side spans recorded while computing this item
+	// (worker.point and children). The coordinator ingests them into its
+	// own tracer on first acceptance, stitching the distributed timeline.
+	Spans []obs.Record `json:"spans,omitempty"`
 }
 
 // ResultResponse acknowledges an upload. Duplicate marks an upload for an

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"hybp/internal/harness"
+	"hybp/internal/obs"
 )
 
 // Options configures a Coordinator. The zero value is usable.
@@ -37,6 +39,10 @@ type Options struct {
 	// Logf, when non-nil, receives lifecycle lines (registrations, expiry,
 	// reassignment). Silent by default.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a span per remote offer and ingests
+	// the spans workers upload with their results, so a distributed sweep
+	// lands in one ring. nil disables tracing at the usual zero cost.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -72,10 +78,14 @@ const (
 type workItem struct {
 	key  string
 	spec json.RawMessage
+	// trace/span is the first offering caller's cluster.remote span
+	// context, shipped to the lessee so its spans parent correctly.
+	trace, span string
 
 	state    int
 	lessee   string    // worker id while leased
 	deadline time.Time // lease expiry while leased
+	leasedAt time.Time // when the current lease was granted
 	assigns  int       // times handed out (>1 ⇒ reassigned)
 
 	payload json.RawMessage // result bytes, exactly as uploaded
@@ -104,6 +114,11 @@ func (w *workerState) live(now time.Time, ttl time.Duration) bool {
 // worker resolves the item — or declines so the harness runs it locally.
 type Coordinator struct {
 	opts Options
+	// leaseAge is the grant→resolution (or expiry) distribution in
+	// milliseconds — always collected, since the histogram is atomic and
+	// lease events are rare next to simulation work. hybpd registers it on
+	// its metrics registry; hybpexp leaves it unexported-but-warm.
+	leaseAge *obs.Histogram
 
 	mu      sync.Mutex
 	items   map[string]*workItem
@@ -122,12 +137,13 @@ type Coordinator struct {
 // NewCoordinator builds a Coordinator and starts its janitor.
 func NewCoordinator(opts Options) *Coordinator {
 	c := &Coordinator{
-		opts:    opts.withDefaults(),
-		items:   make(map[string]*workItem),
-		workers: make(map[string]*workerState),
-		ready:   make(chan struct{}),
-		workCh:  make(chan struct{}, 1),
-		closed:  make(chan struct{}),
+		opts:     opts.withDefaults(),
+		leaseAge: obs.NewHistogram(LeaseAgeBoundsMS),
+		items:    make(map[string]*workItem),
+		workers:  make(map[string]*workerState),
+		ready:    make(chan struct{}),
+		workCh:   make(chan struct{}, 1),
+		closed:   make(chan struct{}),
 	}
 	if c.opts.MinWorkers <= 0 {
 		c.readyOnce.Do(func() { close(c.ready) })
@@ -135,6 +151,15 @@ func NewCoordinator(opts Options) *Coordinator {
 	go c.janitor()
 	return c
 }
+
+// LeaseAgeBoundsMS buckets the lease-age histogram: grant→resolution
+// times from sub-second healthy leases up to multi-minute stalls.
+var LeaseAgeBoundsMS = []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000}
+
+// LeaseAge returns the coordinator's lease-age histogram (milliseconds
+// from lease grant to result acceptance or expiry), for registration on a
+// metrics registry.
+func (c *Coordinator) LeaseAge() *obs.Histogram { return c.leaseAge }
 
 // Close stops the janitor and releases every Execute waiter to local
 // execution. Idempotent.
@@ -173,7 +198,17 @@ func (c *Coordinator) liveCountLocked(now time.Time) int {
 // Execute implements harness.RemoteExec. It enqueues the job and blocks
 // until a worker resolves it, the fleet dies (run locally), or the
 // coordinator closes. See harness.RemoteExec for the three-way contract.
-func (c *Coordinator) Execute(key string, spec json.RawMessage) (json.RawMessage, bool, error) {
+// ctx's span context (the harness job span) parents a cluster.remote span
+// covering the offer, and travels to the lessee via the work item.
+func (c *Coordinator) Execute(ctx context.Context, key string, spec json.RawMessage) (json.RawMessage, bool, error) {
+	rctx, span := c.opts.Tracer.Start(ctx, "cluster.remote")
+	span.SetString("key", key)
+	outcome := "completed"
+	defer func() {
+		span.SetString("outcome", outcome)
+		span.End()
+	}()
+
 	// Hold the offer until the initial fleet arrives, bounded.
 	var timeout <-chan time.Time
 	if c.opts.MinWorkers > 0 {
@@ -185,8 +220,10 @@ func (c *Coordinator) Execute(key string, spec json.RawMessage) (json.RawMessage
 	case <-c.ready:
 	case <-timeout:
 		c.noteFallback()
+		outcome = "local-fallback"
 		return nil, false, nil
 	case <-c.closed:
+		outcome = "closed"
 		return nil, false, nil
 	}
 
@@ -196,10 +233,13 @@ func (c *Coordinator) Execute(key string, spec json.RawMessage) (json.RawMessage
 		if c.liveCountLocked(time.Now()) == 0 {
 			c.totals.LocalFallback++
 			c.mu.Unlock()
+			outcome = "local-fallback"
 			return nil, false, nil
 		}
+		sc := obs.FromContext(rctx)
 		it = &workItem{
 			key: key, spec: spec,
+			trace: sc.Trace, span: sc.Span,
 			done:      make(chan struct{}),
 			abandoned: make(chan struct{}),
 		}
@@ -215,13 +255,16 @@ func (c *Coordinator) Execute(key string, spec json.RawMessage) (json.RawMessage
 		raw, failErr := it.payload, it.failErr
 		c.mu.Unlock()
 		if failErr != "" {
+			outcome = "remote-failed"
 			return nil, true, fmt.Errorf("cluster: remote execution failed: %s", failErr)
 		}
 		return raw, true, nil
 	case <-it.abandoned:
 		c.noteFallback()
+		outcome = "abandoned"
 		return nil, false, nil
 	case <-c.closed:
+		outcome = "closed"
 		return nil, false, nil
 	}
 }
@@ -230,6 +273,15 @@ func (c *Coordinator) noteFallback() {
 	c.mu.Lock()
 	c.totals.LocalFallback++
 	c.mu.Unlock()
+}
+
+// observeLeaseAge feeds the lease-age histogram when the item's current
+// lease ends — by result acceptance, terminal failure, or expiry.
+func (c *Coordinator) observeLeaseAge(it *workItem, now time.Time) {
+	if it.leasedAt.IsZero() {
+		return
+	}
+	c.leaseAge.Observe(float64(now.Sub(it.leasedAt)) / float64(time.Millisecond))
 }
 
 // janitor periodically expires stale leases (requeueing their items) and,
@@ -264,6 +316,7 @@ func (c *Coordinator) sweep(now time.Time) {
 				w.expired++
 			}
 			c.totals.Expired++
+			c.observeLeaseAge(it, now)
 			c.opts.Logf("cluster: lease expired on %s (worker %s); requeueing", it.key, it.lessee)
 			it.state = statePending
 			it.lessee = ""
@@ -461,6 +514,7 @@ func (c *Coordinator) tryLease(w http.ResponseWriter, req LeaseRequest) ([]WorkI
 		it.state = stateLeased
 		it.lessee = ws.id
 		it.deadline = now.Add(c.opts.LeaseTTL)
+		it.leasedAt = now
 		it.assigns++
 		reassigned := it.assigns > 1
 		if reassigned {
@@ -470,7 +524,10 @@ func (c *Coordinator) tryLease(w http.ResponseWriter, req LeaseRequest) ([]WorkI
 		}
 		ws.leased++
 		c.totals.Leased++
-		items = append(items, WorkItem{Key: it.key, Spec: it.spec, Reassigned: reassigned})
+		items = append(items, WorkItem{
+			Key: it.key, Spec: it.spec, Reassigned: reassigned,
+			Trace: it.trace, Span: it.span,
+		})
 	}
 	morePending := len(c.pending) > 0
 	c.mu.Unlock()
@@ -561,6 +618,10 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		c.totals.Completed++
 	}
+	c.observeLeaseAge(it, time.Now())
+	// First acceptance only — duplicate uploads returned above, so a raced
+	// lease can't double-ingest the same worker spans.
+	c.opts.Tracer.Ingest(req.Spans)
 	it.state = stateDone
 	it.lessee = ""
 	close(it.done)

@@ -85,7 +85,7 @@ type execResult struct {
 func execAsync(c *Coordinator, key string) <-chan execResult {
 	ch := make(chan execResult, 1)
 	go func() {
-		raw, ok, err := c.Execute(key, json.RawMessage(`{"k":"`+key+`"}`))
+		raw, ok, err := c.Execute(context.Background(), key, json.RawMessage(`{"k":"`+key+`"}`))
 		ch <- execResult{raw, ok, err}
 	}()
 	return ch
@@ -93,7 +93,7 @@ func execAsync(c *Coordinator, key string) <-chan execResult {
 
 func TestExecuteNoWorkersFallsBackImmediately(t *testing.T) {
 	c, _ := newTestCoord(t, Options{})
-	raw, ok, err := c.Execute("k1", json.RawMessage(`{}`))
+	raw, ok, err := c.Execute(context.Background(), "k1", json.RawMessage(`{}`))
 	if ok || err != nil || raw != nil {
 		t.Fatalf("Execute with no workers = (%s, %v, %v), want decline", raw, ok, err)
 	}
@@ -281,7 +281,7 @@ func TestMinWorkersTimesOutToLocal(t *testing.T) {
 	c := NewCoordinator(Options{MinWorkers: 2, MinWorkersWait: 50 * time.Millisecond})
 	defer c.Close()
 	start := time.Now()
-	_, ok, err := c.Execute("k", json.RawMessage(`{}`))
+	_, ok, err := c.Execute(context.Background(), "k", json.RawMessage(`{}`))
 	if ok || err != nil {
 		t.Fatalf("Execute = (%v, %v), want decline", ok, err)
 	}

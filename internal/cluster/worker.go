@@ -15,6 +15,7 @@ import (
 
 	"hybp/internal/faults"
 	"hybp/internal/harness"
+	"hybp/internal/obs"
 )
 
 // ExecFunc computes one work item: decode the canonical spec, run the pure
@@ -46,6 +47,11 @@ type WorkerOptions struct {
 	RegisterWait time.Duration
 	// Logf, when non-nil, receives lifecycle lines. Silent by default.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, records a worker.point span per leased item,
+	// parented under the coordinator span the item carries, and uploads
+	// the finished spans with the result so the coordinator can stitch
+	// the distributed timeline.
+	Tracer *obs.Tracer
 }
 
 // Worker leases work items from a coordinator, executes them through its
@@ -164,8 +170,18 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // process executes one leased item and uploads its outcome, heartbeating
 // the whole time (including while queued behind the harness semaphore —
-// a full pipeline must not look dead).
+// a full pipeline must not look dead). When tracing is on, the whole
+// execution is one worker.point span parented under the coordinator span
+// the item carries; its finished record travels back with the upload.
 func (w *Worker) process(ctx context.Context, item WorkItem) {
+	sctx, span := w.opts.Tracer.Start(
+		obs.ContextWith(ctx, obs.SpanContext{Trace: item.Trace, Span: item.Span}),
+		"worker.point")
+	span.SetString("key", item.Key)
+	span.SetString("worker", w.id)
+	if item.Reassigned {
+		span.SetInt("reassigned", 1)
+	}
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
 	hb.Add(1)
@@ -186,10 +202,15 @@ func (w *Worker) process(ctx context.Context, item WorkItem) {
 	raw, err := fut.Result()
 	close(stop)
 	hb.Wait()
+	span.SetErr(err)
+	var spans []obs.Record
+	if rec, ok := span.EndRecord(); ok {
+		spans = []obs.Record{rec}
+	}
 	if ctx.Err() != nil {
 		return // shutting down: let the lease expire and be reassigned
 	}
-	w.upload(ctx, item.Key, raw, err)
+	w.upload(sctx, item.Key, raw, err, spans)
 }
 
 func (w *Worker) heartbeatLoop(ctx context.Context, key string, stop <-chan struct{}) {
@@ -223,8 +244,8 @@ func (w *Worker) heartbeatLoop(ctx context.Context, key string, stop <-chan stru
 // errors and 5xx retry; 404 means the item was abandoned (drop it); a 400
 // checksum rejection retries too, since the payload was damaged in
 // transit, not at rest.
-func (w *Worker) upload(ctx context.Context, key string, raw json.RawMessage, execErr error) {
-	req := ResultRequest{WorkerID: w.id}
+func (w *Worker) upload(ctx context.Context, key string, raw json.RawMessage, execErr error, spans []obs.Record) {
+	req := ResultRequest{WorkerID: w.id, Spans: spans}
 	if execErr != nil {
 		req.Error = execErr.Error()
 	} else {
@@ -318,6 +339,7 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(ctx, req.Header)
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"hybp/internal/faults"
+	"hybp/internal/obs"
 )
 
 // RemoteExec lets an external execution fabric (internal/cluster's
@@ -44,8 +46,10 @@ import (
 // Execute may block while the job is leased, heartbeated, and (after a
 // worker crash) reassigned; it is called from a worker-pool goroutine, so
 // Options.Workers bounds the number of concurrently outstanding offers.
+// ctx carries the job's span context (obs.FromContext) so the fabric can
+// parent its own spans — and the remote worker's — under the job.
 type RemoteExec interface {
-	Execute(key string, spec json.RawMessage) (raw json.RawMessage, ok bool, err error)
+	Execute(ctx context.Context, key string, spec json.RawMessage) (raw json.RawMessage, ok bool, err error)
 }
 
 // Options configures a Runner.
@@ -71,6 +75,17 @@ type Options struct {
 	// execution fabric before running it locally (see RemoteExec). Jobs
 	// submitted without a spec always execute in-process.
 	Remote RemoteExec
+	// Tracer, when non-nil, records a span per job (queueing, outcome) and
+	// per execution attempt. nil — the default — costs one pointer
+	// comparison on the job path and allocates nothing.
+	Tracer *obs.Tracer
+	// TraceCtx, when it carries a span context, parents every job span
+	// under that span — hybpexp sets it to its root sweep span so an
+	// entire run is one trace. Leave nil for per-job root traces.
+	TraceCtx context.Context
+	// ExecHist, when non-nil, receives each successful local execution's
+	// wall-clock duration in milliseconds (see obs.Histogram).
+	ExecHist *obs.Histogram
 }
 
 // Stats is a snapshot of a Runner's counters. It is the one source of
@@ -131,6 +146,10 @@ type Runner struct {
 	retry  RetryPolicy
 	remote RemoteExec
 
+	tracer   *obs.Tracer
+	traceCtx context.Context
+	execHist *obs.Histogram
+
 	mu       sync.Mutex
 	futures  map[string]*future
 	firstErr error
@@ -147,12 +166,19 @@ func New(opts Options) (*Runner, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	traceCtx := opts.TraceCtx
+	if traceCtx == nil {
+		traceCtx = context.Background()
+	}
 	r := &Runner{
-		sem:     make(chan struct{}, workers),
-		futures: make(map[string]*future),
-		inj:     opts.Faults,
-		retry:   opts.Retry.withDefaults(),
-		remote:  opts.Remote,
+		sem:      make(chan struct{}, workers),
+		futures:  make(map[string]*future),
+		inj:      opts.Faults,
+		retry:    opts.Retry.withDefaults(),
+		remote:   opts.Remote,
+		tracer:   opts.Tracer,
+		traceCtx: traceCtx,
+		execHist: opts.ExecHist,
 	}
 	r.budgetLeft.Store(r.retry.Budget)
 	if opts.CacheDir != "" {
@@ -285,7 +311,20 @@ func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T)
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
+		// The job span opens before the pool admits the job, so queue_ms
+		// separates scheduling wait from execution in the timeline. With a
+		// nil tracer, Start returns (traceCtx, nil) and every span method
+		// below is a free no-op.
+		ctx, span := r.tracer.Start(r.traceCtx, "harness.job")
+		span.SetString("key", key)
+		queued := time.Now()
+		outcome := "executed"
+		defer func() {
+			span.SetString("outcome", outcome)
+			span.End()
+		}()
 		r.sem <- struct{}{}
+		span.SetInt("queue_ms", time.Since(queued).Milliseconds())
 		defer func() { <-r.sem }()
 		defer func() {
 			r.completed.Add(1)
@@ -296,18 +335,18 @@ func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T)
 			if r.disk.get(key, &v) {
 				r.diskHits.Add(1)
 				f.val = v
+				outcome = "disk-hit"
 				return
 			}
 		}
 		if r.remote != nil && spec != nil {
-			if raw, ok, err := r.remote.Execute(key, spec); ok && err == nil {
+			if raw, ok, err := r.remote.Execute(ctx, key, spec); ok && err == nil {
 				var v T
 				if err := json.Unmarshal(raw, &v); err == nil {
 					r.remoteDone.Add(1)
 					f.val = v
-					if r.disk != nil {
-						r.disk.put(key, v)
-					}
+					outcome = "remote"
+					r.cachePut(ctx, key, v)
 					return
 				}
 				// An undecodable remote payload (schema drift between
@@ -317,10 +356,12 @@ func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T)
 			// ok == false (no workers) or err != nil (remote gave up):
 			// fall through and execute in-process.
 		}
-		v, err := runWithRetry(r, key, fn)
+		v, err := runWithRetry(ctx, r, key, fn)
 		if err != nil {
 			r.failed.Add(1)
 			f.err = err
+			outcome = "failed"
+			span.SetErr(err)
 			r.mu.Lock()
 			if r.firstErr == nil {
 				r.firstErr = err
@@ -330,9 +371,19 @@ func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T)
 		}
 		r.executed.Add(1)
 		f.val = v
-		if r.disk != nil {
-			r.disk.put(key, v)
-		}
+		r.cachePut(ctx, key, v)
 	}()
 	return Future[T]{f}
+}
+
+// cachePut writes a resolved job to the on-disk cache (when enabled)
+// under a cache-write span, completing the traced job lifecycle:
+// queued → exec (or remote) → cache-write.
+func (r *Runner) cachePut(ctx context.Context, key string, v any) {
+	if r.disk == nil {
+		return
+	}
+	_, span := r.tracer.Start(ctx, "harness.cachewrite")
+	r.disk.put(key, v)
+	span.End()
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -131,15 +132,24 @@ func runOnce[T any](key string, fn func() T, d faults.Decision) (v T, err error)
 
 // runWithRetry drives fn to success or a typed permanent failure under the
 // Runner's retry policy, counting retries, recovered panics, and budget
-// consumption in the shared stats.
-func runWithRetry[T any](r *Runner, key string, fn func() T) (T, error) {
+// consumption in the shared stats. Each attempt gets its own span (so a
+// retried job shows every try on the timeline, not just the last) and
+// successful attempts feed the exec-time histogram.
+func runWithRetry[T any](ctx context.Context, r *Runner, key string, fn func() T) (T, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		_, span := r.tracer.Start(ctx, "harness.exec")
+		span.SetInt("attempt", int64(attempt))
+		start := time.Now()
 		v, err := runOnce(key, fn, r.inj.Decide(faults.OpExec, key))
 		if err == nil {
+			r.execHist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+			span.End()
 			r.inj.NoteExec()
 			return v, nil
 		}
+		span.SetErr(err)
+		span.End()
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			r.panics.Add(1)

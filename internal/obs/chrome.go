@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: turns a set of span Records into the JSON
+// object format Chrome's about:tracing and Perfetto load. Each distinct
+// Proc becomes a process row (pid + process_name metadata event); within
+// a process, spans are laid out into thread lanes so that overlapping
+// spans that are not ancestor/descendant never share a lane — Perfetto
+// draws proper nesting without requiring strict B/E event pairing.
+
+// chromeEvent is one entry of the traceEvents array. Only the fields the
+// viewers read are emitted; "X" (complete) events carry ts+dur directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   int64          `json:"ts,omitempty"`
+	Dur  int64          `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders recs as Chrome trace-event JSON to w.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	// Stable process numbering: sorted distinct Proc labels.
+	procSet := map[string]int{}
+	var procs []string
+	for _, r := range recs {
+		p := r.Proc
+		if p == "" {
+			p = "unknown"
+		}
+		if _, ok := procSet[p]; !ok {
+			procSet[p] = 0
+			procs = append(procs, p)
+		}
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		procSet[p] = i + 1
+	}
+
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, p := range procs {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: procSet[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+
+	// Lane assignment per process: sort by start (ties: longer first, so a
+	// parent precedes the children it encloses), then place each span in
+	// the first lane whose open intervals all enclose it; a lane whose top
+	// interval has ended is popped first. Spans that overlap without
+	// nesting land in separate lanes.
+	byProc := map[string][]Record{}
+	for _, r := range recs {
+		p := r.Proc
+		if p == "" {
+			p = "unknown"
+		}
+		byProc[p] = append(byProc[p], r)
+	}
+	for _, p := range procs {
+		rs := byProc[p]
+		sort.SliceStable(rs, func(i, j int) bool {
+			if rs[i].StartUS != rs[j].StartUS {
+				return rs[i].StartUS < rs[j].StartUS
+			}
+			return rs[i].DurUS > rs[j].DurUS
+		})
+		var lanes [][]Record // per-lane stack of open (enclosing) spans
+		for _, r := range rs {
+			end := r.StartUS + r.DurUS
+			placed := -1
+			for li := range lanes {
+				// Pop spans that ended before this one starts.
+				st := lanes[li]
+				for len(st) > 0 && st[len(st)-1].StartUS+st[len(st)-1].DurUS <= r.StartUS {
+					st = st[:len(st)-1]
+				}
+				lanes[li] = st
+				if len(st) == 0 || (st[len(st)-1].StartUS <= r.StartUS && end <= st[len(st)-1].StartUS+st[len(st)-1].DurUS) {
+					placed = li
+					break
+				}
+			}
+			if placed < 0 {
+				lanes = append(lanes, nil)
+				placed = len(lanes) - 1
+			}
+			lanes[placed] = append(lanes[placed], r)
+
+			args := map[string]any{"trace": r.Trace, "span": r.Span}
+			if r.Parent != "" {
+				args["parent"] = r.Parent
+			}
+			for _, a := range r.Attrs {
+				if a.IsInt {
+					args[a.Key] = a.Int
+				} else {
+					args[a.Key] = a.Str
+				}
+			}
+			dur := r.DurUS
+			if dur < 1 {
+				dur = 1 // zero-width spans are invisible in the viewers
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: r.Name, Ph: "X", PID: procSet[p], TID: placed + 1,
+				TS: r.StartUS, Dur: dur, Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks
+// the invariants the exporter guarantees: an object with a traceEvents
+// array, every event carrying a name/ph/pid, and every "X" event a
+// timestamp and positive duration. Returns the number of "X" span events,
+// or an error describing the first violation. Used by the trace-smoke CI
+// gate.
+func ValidateChromeTrace(data []byte) (spans int, err error) {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("missing traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		var ph, name string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			return 0, fmt.Errorf("event %d: bad ph: %w", i, err)
+		}
+		if err := json.Unmarshal(ev["name"], &name); err != nil || name == "" {
+			return 0, fmt.Errorf("event %d: missing name", i)
+		}
+		if _, ok := ev["pid"]; !ok {
+			return 0, fmt.Errorf("event %d (%s): missing pid", i, name)
+		}
+		if ph != "X" {
+			continue
+		}
+		spans++
+		var ts, dur int64
+		if err := json.Unmarshal(ev["ts"], &ts); err != nil {
+			return 0, fmt.Errorf("event %d (%s): bad ts: %w", i, name, err)
+		}
+		if err := json.Unmarshal(ev["dur"], &dur); err != nil || dur <= 0 {
+			return 0, fmt.Errorf("event %d (%s): bad dur", i, name)
+		}
+	}
+	return spans, nil
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	recs := []Record{
+		{Trace: "t", Span: "root", Name: "sweep", Proc: "hybpexp", StartUS: 1000, DurUS: 900},
+		{Trace: "t", Span: "c1", Parent: "root", Name: "job", Proc: "hybpexp", StartUS: 1100, DurUS: 300,
+			Attrs: []Attr{{Key: "key", Str: "k1"}, {Key: "attempt", Int: 1, IsInt: true}}},
+		{Trace: "t", Span: "c2", Parent: "root", Name: "job", Proc: "hybpexp", StartUS: 1500, DurUS: 300},
+		{Trace: "t", Span: "w1", Parent: "c1", Name: "worker.point", Proc: "worker-a", StartUS: 1150, DurUS: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output fails its own validator: %v\n%s", err, buf.String())
+	}
+	if spans != len(recs) {
+		t.Fatalf("validator saw %d spans, want %d", spans, len(recs))
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+
+	// Two processes → two metadata events with distinct pids, sorted names.
+	procNames := map[int]string{}
+	byName := map[string][]int{} // span name → [pid, tid]
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			procNames[ev.PID] = ev.Args["name"].(string)
+		case "X":
+			byName[ev.Name+"/"+ev.Args["span"].(string)] = []int{ev.PID, ev.TID}
+		}
+	}
+	if len(procNames) != 2 {
+		t.Fatalf("process rows = %v, want 2", procNames)
+	}
+
+	// Nesting: the root and its enclosed children share one lane; the two
+	// jobs don't overlap each other so all hybpexp spans fit in lane 1.
+	root := byName["sweep/root"]
+	c1 := byName["job/c1"]
+	c2 := byName["job/c2"]
+	w := byName["worker.point/w1"]
+	if root == nil || c1 == nil || c2 == nil || w == nil {
+		t.Fatalf("missing span events: %v", byName)
+	}
+	if c1[0] != root[0] || c1[1] != root[1] || c2[1] != root[1] {
+		t.Fatalf("enclosed jobs not in the root's lane: root=%v c1=%v c2=%v", root, c1, c2)
+	}
+	if w[0] == root[0] {
+		t.Fatal("worker span shares the coordinator's pid")
+	}
+	if procNames[w[0]] != "worker-a" {
+		t.Fatalf("worker pid labeled %q", procNames[w[0]])
+	}
+
+	// Attrs survive into args.
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Args["span"] == "c1" {
+			if ev.Args["key"] != "k1" || ev.Args["attempt"] != float64(1) || ev.Args["parent"] != "root" {
+				t.Fatalf("args lost attrs: %v", ev.Args)
+			}
+		}
+	}
+}
+
+// Overlapping non-nested spans must land in different lanes, or Perfetto
+// renders them as false parent/child.
+func TestChromeLaneSeparation(t *testing.T) {
+	recs := []Record{
+		{Trace: "t", Span: "a", Name: "a", Proc: "p", StartUS: 0, DurUS: 100},
+		{Trace: "t", Span: "b", Name: "b", Proc: "p", StartUS: 50, DurUS: 100}, // overlaps a, not nested
+		{Trace: "t", Span: "c", Name: "c", Proc: "p", StartUS: 200, DurUS: 50}, // after both: reuse lane 1
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			tid[ev.Name] = ev.TID
+		}
+	}
+	if tid["a"] == tid["b"] {
+		t.Fatalf("overlapping spans share lane %d", tid["a"])
+	}
+	if tid["c"] != tid["a"] {
+		t.Fatalf("span c in lane %d, want reuse of lane %d", tid["c"], tid["a"])
+	}
+}
+
+func TestZeroDurationSpanVisible(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Record{{Trace: "t", Span: "z", Name: "z", Proc: "p", StartUS: 10, DurUS: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateChromeTrace(buf.Bytes()); err != nil || n != 1 {
+		t.Fatalf("zero-duration span: n=%d err=%v", n, err)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"not json", "nope"},
+		{"no traceEvents", `{}`},
+		{"missing name", `{"traceEvents":[{"ph":"X","pid":1,"ts":1,"dur":1}]}`},
+		{"missing pid", `{"traceEvents":[{"ph":"X","name":"a","ts":1,"dur":1}]}`},
+		{"zero dur", `{"traceEvents":[{"ph":"X","name":"a","pid":1,"ts":1,"dur":0}]}`},
+	} {
+		if _, err := ValidateChromeTrace([]byte(tc.data)); err == nil {
+			t.Errorf("%s: validator accepted %q", tc.name, tc.data)
+		}
+	}
+	if n, err := ValidateChromeTrace([]byte(`{"traceEvents":[]}`)); err != nil || n != 0 {
+		t.Errorf("empty trace: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// Header names carrying span context across process hops. The client
+// stamps them on daemon requests and the cluster worker stamps them on
+// work-API requests, so a span started in one process parents spans in
+// the next.
+const (
+	HeaderTrace = "X-Hybp-Trace"
+	HeaderSpan  = "X-Hybp-Span"
+)
+
+// InjectHTTP stamps the span context carried by ctx onto h. No-op when
+// ctx carries none.
+func InjectHTTP(ctx context.Context, h http.Header) {
+	sc := FromContext(ctx)
+	if !sc.Valid() {
+		return
+	}
+	h.Set(HeaderTrace, sc.Trace)
+	h.Set(HeaderSpan, sc.Span)
+}
+
+// ExtractHTTP reads the propagated span context from h, zero when the
+// headers are absent or incomplete.
+func ExtractHTTP(h http.Header) SpanContext {
+	sc := SpanContext{Trace: h.Get(HeaderTrace), Span: h.Get(HeaderSpan)}
+	if !sc.Valid() {
+		return SpanContext{}
+	}
+	return sc
+}

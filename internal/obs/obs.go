@@ -1,0 +1,319 @@
+// Package obs is the unified observability subsystem: structured tracing
+// with a bounded in-memory ring of completed spans, span-context
+// propagation through context.Context locally and HTTP headers across
+// process hops, a Chrome trace-event exporter (Perfetto-loadable
+// timelines), and a small Prometheus-style metrics registry (registry.go).
+//
+// The design follows internal/faults' nil-safe handle pattern: a nil
+// *Tracer is the production no-tracing configuration. Every method is safe
+// on a nil receiver and does no work — Start on a nil Tracer returns the
+// context unchanged and a nil *Span, and every *Span method is a no-op on
+// nil — so instrumented hot paths pay one pointer comparison and zero
+// allocations when tracing is off.
+//
+// Spans record name, process, start, duration, parent linkage, and a small
+// set of typed attributes. Trace identity is two hex-string IDs: a trace
+// ID shared by every span of one logical operation (a sweep, a request)
+// and a per-span ID. Context propagation carries (trace, span) pairs:
+// locally via ContextWith/FromContext, across the client→daemon and
+// coordinator→worker hops via InjectHTTP/ExtractHTTP (http.go) and the
+// cluster work API's per-item fields — which is what lets one distributed
+// sweep yield one coherent trace: workers create spans parented under the
+// coordinator's job spans and ship the finished records back with their
+// result uploads, and the coordinator Ingests them into its own ring.
+//
+// The ring is bounded: when full, the oldest completed span is evicted so
+// a long-running daemon's tracer is a fixed-size flight recorder, never a
+// leak.
+package obs
+
+import (
+	"context"
+	"hash/fnv"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hybp/internal/rng"
+)
+
+// DefaultRingSize bounds the tracer's completed-span ring when NewTracer
+// is given no explicit capacity.
+const DefaultRingSize = 4096
+
+// SpanContext is the propagated identity of a span: the trace it belongs
+// to and its own ID. The zero value means "no span".
+type SpanContext struct {
+	Trace string `json:"trace"`
+	Span  string `json:"span"`
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != "" && sc.Span != "" }
+
+// Attr is one typed span attribute. Exactly one of Str/Int is meaningful,
+// selected by IsInt; the split keeps integer attributes from being
+// formatted (and allocated) on record.
+type Attr struct {
+	Key   string `json:"k"`
+	Str   string `json:"s,omitempty"`
+	Int   int64  `json:"i,omitempty"`
+	IsInt bool   `json:"n,omitempty"`
+}
+
+// Record is one completed span — the ring's element and the wire format
+// result uploads carry worker spans in. Times are unix microseconds so
+// records from different processes on one machine align on a shared
+// timeline.
+type Record struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	Proc    string `json:"proc,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// ctxKey keys the SpanContext inside a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. An invalid sc returns ctx
+// unchanged.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the propagated span context, zero when absent. A
+// nil ctx is treated as empty.
+func FromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Tracer records completed spans into a bounded ring. Build one with
+// NewTracer; a nil *Tracer is the disabled configuration — all methods are
+// nil-receiver-safe and free. Tracer is safe for concurrent use.
+type Tracer struct {
+	proc string
+	cap  int
+	seed uint64
+	idc  atomic.Uint64
+
+	mu      sync.Mutex
+	buf     []Record
+	next    int // overwrite position once the ring is full
+	evicted uint64
+}
+
+// NewTracer builds a Tracer labeled with a process/component name (it
+// stamps every record's Proc and becomes the Chrome export's process
+// row). capacity bounds the completed-span ring; <= 0 takes
+// DefaultRingSize.
+func NewTracer(proc string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	h := fnv.New64a()
+	h.Write([]byte(proc))
+	return &Tracer{
+		proc: proc,
+		cap:  capacity,
+		// Span IDs need uniqueness across processes, not reproducibility:
+		// the sweep's science stays deterministic, its telemetry does not
+		// have to be.
+		seed: rng.Mix64(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32 ^ h.Sum64()),
+		buf:  make([]Record, 0, capacity),
+	}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Proc returns the tracer's process label (empty for nil).
+func (t *Tracer) Proc() string {
+	if t == nil {
+		return ""
+	}
+	return t.proc
+}
+
+// newID derives the next unique hex ID.
+func (t *Tracer) newID() string {
+	n := rng.Mix64(t.seed + t.idc.Add(1)*0x9e3779b97f4a7c15)
+	if n == 0 {
+		n = 1
+	}
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
+}
+
+// Start begins a span named name, parented under the span context carried
+// by ctx (a fresh trace begins when ctx carries none), and returns a
+// derived context carrying the new span plus the span handle. On a nil
+// Tracer it returns ctx unchanged and a nil *Span — zero cost, zero
+// allocations. The span is recorded only when End (or EndRecord) is
+// called; an abandoned handle is simply discarded.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	s := &Span{t: t, start: time.Now()}
+	s.rec.Name = name
+	s.rec.Proc = t.proc
+	s.rec.Span = t.newID()
+	if parent.Valid() {
+		s.rec.Trace = parent.Trace
+		s.rec.Parent = parent.Span
+	} else {
+		s.rec.Trace = t.newID()
+	}
+	return ContextWith(ctx, SpanContext{Trace: s.rec.Trace, Span: s.rec.Span}), s
+}
+
+// StartRoot begins a span with no parent — the root of a fresh trace.
+func (t *Tracer) StartRoot(name string) (context.Context, *Span) {
+	return t.Start(context.Background(), name)
+}
+
+// record appends one completed span, evicting the oldest when full.
+func (t *Tracer) record(rec Record) {
+	t.mu.Lock()
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, rec)
+	} else {
+		t.buf[t.next] = rec
+		t.next = (t.next + 1) % t.cap
+		t.evicted++
+	}
+	t.mu.Unlock()
+}
+
+// Ingest appends externally produced records — a worker's spans arriving
+// with a result upload — into the ring, oldest-evicted like local spans.
+// No-op on nil.
+func (t *Tracer) Ingest(recs []Record) {
+	if t == nil || len(recs) == 0 {
+		return
+	}
+	for _, rec := range recs {
+		t.record(rec)
+	}
+}
+
+// Snapshot copies the ring's records, oldest first. Nil returns nil.
+func (t *Tracer) Snapshot() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, 0, len(t.buf))
+	if len(t.buf) < t.cap {
+		out = append(out, t.buf...)
+		return out
+	}
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Len is the number of completed spans currently held (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Evicted is how many spans the bounded ring has overwritten (0 for nil).
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Span is an in-flight span handle. It is not safe for concurrent use —
+// one goroutine owns a span from Start to End, the same discipline the
+// call sites already have. All methods are no-ops on a nil receiver.
+type Span struct {
+	t     *Tracer
+	start time.Time
+	rec   Record
+	ended bool
+}
+
+// Context returns the span's propagable identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.rec.Trace, Span: s.rec.Span}
+}
+
+// SetString attaches a string attribute.
+func (s *Span) SetString(key, val string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Str: val})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Int: val, IsInt: true})
+}
+
+// SetErr attaches err as an "err" attribute; nil err (or nil span) is a
+// no-op, so success paths need no branch.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: "err", Str: err.Error()})
+}
+
+// End completes the span and records it into the tracer's ring. Repeated
+// End calls record once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.StartUS = s.start.UnixMicro()
+	s.rec.DurUS = time.Since(s.start).Microseconds()
+	s.t.record(s.rec)
+}
+
+// EndRecord is End that also hands back the completed record — what a
+// cluster worker uploads alongside its result so the coordinator can
+// stitch one coherent trace. ok is false on a nil span.
+func (s *Span) EndRecord() (rec Record, ok bool) {
+	if s == nil {
+		return Record{}, false
+	}
+	s.End()
+	return s.rec, true
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestNilTracerNoOp is the production-configuration contract: every
+// Tracer and Span method must be callable on nil, do nothing, and — for
+// the hot-path Start/attr/End shape — allocate nothing.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Proc() != "" || tr.Len() != 0 || tr.Evicted() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+	tr.Ingest([]Record{{Name: "x"}})
+
+	ctx := context.Background()
+	ctx2, sp := tr.Start(ctx, "noop")
+	if ctx2 != ctx {
+		t.Fatal("nil Start changed the context")
+	}
+	if sp != nil {
+		t.Fatal("nil Start returned a span")
+	}
+	sp.SetString("k", "v")
+	sp.SetInt("n", 1)
+	sp.SetErr(errors.New("boom"))
+	sp.End()
+	if _, ok := sp.EndRecord(); ok {
+		t.Fatal("nil EndRecord returned ok")
+	}
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+
+	err := errors.New("e")
+	allocs := testing.AllocsPerRun(100, func() {
+		c, s := tr.Start(ctx, "job")
+		s.SetString("key", "abc")
+		s.SetInt("attempt", 1)
+		s.SetErr(err)
+		s.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanLifecycleAndParenting(t *testing.T) {
+	tr := NewTracer("test", 16)
+	ctx, root := tr.StartRoot("sweep")
+	rootSC := root.Context()
+	if !rootSC.Valid() {
+		t.Fatal("root span context invalid")
+	}
+	if got := FromContext(ctx); got != rootSC {
+		t.Fatalf("context carries %+v, want %+v", got, rootSC)
+	}
+
+	_, child := tr.Start(ctx, "job")
+	child.SetString("key", "k1")
+	child.SetInt("attempt", 2)
+	child.SetErr(nil) // must not attach anything
+	child.End()
+	child.End() // idempotent
+	root.End()
+
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	c, r := recs[0], recs[1]
+	if c.Name != "job" || r.Name != "sweep" {
+		t.Fatalf("record order/names wrong: %q, %q", c.Name, r.Name)
+	}
+	if c.Trace != r.Trace {
+		t.Fatalf("child trace %q != root trace %q", c.Trace, r.Trace)
+	}
+	if c.Parent != r.Span {
+		t.Fatalf("child parent %q != root span %q", c.Parent, r.Span)
+	}
+	if r.Parent != "" {
+		t.Fatalf("root has parent %q", r.Parent)
+	}
+	if c.Proc != "test" {
+		t.Fatalf("proc = %q", c.Proc)
+	}
+	if len(c.Attrs) != 2 {
+		t.Fatalf("attrs = %+v, want 2 entries (nil SetErr must not attach)", c.Attrs)
+	}
+	if c.Attrs[0].Key != "key" || c.Attrs[0].Str != "k1" {
+		t.Fatalf("string attr = %+v", c.Attrs[0])
+	}
+	if c.Attrs[1].Key != "attempt" || c.Attrs[1].Int != 2 || !c.Attrs[1].IsInt {
+		t.Fatalf("int attr = %+v", c.Attrs[1])
+	}
+	if c.DurUS < 0 || c.StartUS == 0 {
+		t.Fatalf("timestamps not set: start=%d dur=%d", c.StartUS, c.DurUS)
+	}
+}
+
+// TestRingOverflowEvictsOldest: the ring is a flight recorder — once
+// full, each new span replaces the oldest, Snapshot stays
+// oldest-first, and Evicted counts the overwrites.
+func TestRingOverflowEvictsOldest(t *testing.T) {
+	const cap = 8
+	tr := NewTracer("ring", cap)
+	for i := 0; i < cap+5; i++ {
+		_, s := tr.StartRoot(fmt.Sprintf("span-%d", i))
+		s.End()
+	}
+	if got := tr.Len(); got != cap {
+		t.Fatalf("Len = %d, want %d", got, cap)
+	}
+	if got := tr.Evicted(); got != 5 {
+		t.Fatalf("Evicted = %d, want 5", got)
+	}
+	recs := tr.Snapshot()
+	for i, r := range recs {
+		want := fmt.Sprintf("span-%d", i+5)
+		if r.Name != want {
+			t.Fatalf("Snapshot[%d] = %q, want %q (oldest five evicted, oldest-first order)", i, r.Name, want)
+		}
+	}
+}
+
+func TestIngestFeedsRing(t *testing.T) {
+	tr := NewTracer("coord", 4)
+	tr.Ingest([]Record{
+		{Trace: "t1", Span: "a", Name: "w1", Proc: "worker"},
+		{Trace: "t1", Span: "b", Name: "w2", Proc: "worker"},
+	})
+	recs := tr.Snapshot()
+	if len(recs) != 2 || recs[0].Proc != "worker" {
+		t.Fatalf("ingested records = %+v", recs)
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	tr := NewTracer("ids", 1024)
+	seen := map[string]bool{}
+	for i := 0; i < 512; i++ {
+		_, s := tr.StartRoot("s")
+		sc := s.Context()
+		for _, id := range []string{sc.Trace, sc.Span} {
+			if len(id) != 16 {
+				t.Fatalf("id %q not 16 hex chars", id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %q", id)
+			}
+			seen[id] = true
+		}
+		s.End()
+	}
+}
+
+func TestHTTPPropagationRoundTrip(t *testing.T) {
+	tr := NewTracer("client", 4)
+	ctx, s := tr.StartRoot("req")
+	defer s.End()
+
+	h := http.Header{}
+	InjectHTTP(ctx, h)
+	if h.Get(HeaderTrace) == "" || h.Get(HeaderSpan) == "" {
+		t.Fatalf("headers not set: %v", h)
+	}
+	got := ExtractHTTP(h)
+	if got != s.Context() {
+		t.Fatalf("round trip: got %+v, want %+v", got, s.Context())
+	}
+
+	// No span in context → no headers; half headers → no context.
+	h2 := http.Header{}
+	InjectHTTP(context.Background(), h2)
+	if len(h2) != 0 {
+		t.Fatalf("empty ctx set headers: %v", h2)
+	}
+	h3 := http.Header{}
+	h3.Set(HeaderTrace, "abc")
+	if sc := ExtractHTTP(h3); sc.Valid() {
+		t.Fatalf("trace-only headers produced %+v", sc)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer("conc", 256)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 32; i++ {
+				_, s := tr.StartRoot("g")
+				s.SetInt("g", int64(g))
+				s.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if tr.Len() != 256 {
+		t.Fatalf("Len = %d, want 256", tr.Len())
+	}
+}

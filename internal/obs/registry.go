@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Prometheus-style metrics: a Registry of named counters, gauges, and
+// histograms that renders the text exposition format (version 0.0.4) for
+// GET /metrics.prom. Like the tracer, instruments are cheap enough to
+// update on hot paths — counters and histogram observations are atomic
+// with no locks — and a nil *Histogram is a no-op, so the shared
+// histogram implementation can be threaded through the harness and
+// cluster without forcing them to care whether metrics are on.
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed buckets: atomic per-bucket
+// counts plus a CAS-accumulated sum, mirroring the latency histogram the
+// server grew ad hoc — now one implementation shared by request latency,
+// harness exec time, and cluster lease age. A nil *Histogram ignores
+// observations, so callers thread it unconditionally.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits
+}
+
+// NewHistogram builds a histogram with the given sorted upper bounds.
+// Standalone-constructible so one histogram can be registered with a
+// Registry and simultaneously handed to the component that feeds it.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le-bucket semantics
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Cumulative[i] counts observations <= Bounds[i]; the final entry is the
+// total (the +Inf bucket).
+type HistogramSnapshot struct {
+	Count      uint64
+	Sum        float64
+	Bounds     []float64
+	Cumulative []uint64
+}
+
+// Snapshot copies the histogram's state (zero snapshot for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sum.Load()),
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.buckets)),
+	}
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		s.Cumulative[i] = run
+	}
+	return s
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind string // "counter", "gauge", "histogram"
+	read func() float64
+	hist *Histogram
+}
+
+// Registry holds named instruments and renders them as Prometheus text.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]bool{}}
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func (r *Registry) add(m metric) {
+	if !metricNameRE.MatchString(m.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(metric{name: name, help: help, kind: "counter", read: func() float64 { return float64(c.Value()) }})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(metric{name: name, help: help, kind: "gauge", read: func() float64 { return float64(g.Value()) }})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counts that already live elsewhere (harness
+// stats, cluster totals) without double-counting state.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.add(metric{name: name, help: help, kind: "counter", read: func() float64 { return float64(fn()) }})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	r.add(metric{name: name, help: help, kind: "gauge", read: func() float64 { return float64(fn()) }})
+}
+
+// Histogram registers h (built with NewHistogram) under name.
+func (r *Registry) Histogram(name, help string, h *Histogram) *Histogram {
+	r.add(metric{name: name, help: help, kind: "histogram", hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered instrument in text exposition
+// format 0.0.4, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		if m.kind != "histogram" {
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.read())); err != nil {
+				return err
+			}
+			continue
+		}
+		s := m.hist.Snapshot()
+		for i, b := range s.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatFloat(b), s.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		inf := uint64(0)
+		if n := len(s.Cumulative); n > 0 {
+			inf = s.Cumulative[n-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, inf); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", m.name, formatFloat(s.Sum), m.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a value the way Prometheus expects: integral values
+// without a decimal point, others in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hybp_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	g := r.Gauge("hybp_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 111.5 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// le semantics: 0.5 and 1 land in le=1; 3 in le=5; 7 in le=10; 100 in +Inf.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (snapshot %+v)", i, s.Cumulative[i], w, s)
+		}
+	}
+
+	var nilH *Histogram
+	nilH.Observe(3) // must not panic
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram counted")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hybp_jobs_total", "jobs accepted")
+	c.Add(3)
+	g := r.Gauge("hybp_queue_depth", "queued jobs")
+	g.Set(2)
+	r.CounterFunc("hybp_cache_hits_total", "disk cache hits", func() uint64 { return 9 })
+	h := r.Histogram("hybp_latency_ms", "latency", NewHistogram([]float64{1, 10}))
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP hybp_jobs_total jobs accepted",
+		"# TYPE hybp_jobs_total counter",
+		"hybp_jobs_total 3",
+		"# TYPE hybp_queue_depth gauge",
+		"hybp_queue_depth 2",
+		"hybp_cache_hits_total 9",
+		"# TYPE hybp_latency_ms histogram",
+		`hybp_latency_ms_bucket{le="1"} 1`,
+		`hybp_latency_ms_bucket{le="10"} 2`,
+		`hybp_latency_ms_bucket{le="+Inf"} 3`,
+		"hybp_latency_ms_sum 55.5",
+		"hybp_latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := parsePrometheus(out); err != nil {
+		t.Fatalf("exposition not parseable: %v\n%s", err, out)
+	}
+}
+
+// parsePrometheus is a minimal text-format 0.0.4 checker: every
+// non-comment line must be `name{labels} value` with a parseable float
+// value, and every sample name must be announced by a preceding # TYPE
+// (histogram samples by their base name).
+func parsePrometheus(text string) error {
+	typed := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return errLine(ln, line, "malformed TYPE")
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return errLine(ln, line, "no value")
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return errLine(ln, line, "unclosed labels")
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := typed[strings.TrimSuffix(name, suf)]; ok && t == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return errLine(ln, line, "sample without TYPE")
+		}
+		v := line[sp+1:]
+		if v != "+Inf" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				return errLine(ln, line, "bad value "+v)
+			}
+		}
+	}
+	return nil
+}
+
+func errLine(n int, line, msg string) error {
+	return fmt.Errorf("line %d: %s: %s", n+1, msg, line)
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hybp_x_total", "")
+	assertPanics(t, "duplicate", func() { r.Counter("hybp_x_total", "") })
+	assertPanics(t, "invalid name", func() { r.Counter("bad name!", "") })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestFormatFloat(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{3, "3"}, {0, "0"}, {2.5, "2.5"}, {1000000, "1000000"}} {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

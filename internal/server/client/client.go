@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hybp/internal/cluster"
+	"hybp/internal/obs"
 	"hybp/internal/server"
 )
 
@@ -51,6 +52,11 @@ type Client struct {
 	// Counters, when non-nil, tallies retries by failure class — the load
 	// generator reads it to report how degraded a run was.
 	Counters *Counters
+	// Tracer, when non-nil, records client-side spans and propagates span
+	// context to the server in X-Hybp-* headers, so a traced hybpd stitches
+	// the client's submit into the same trace as its own handling. nil is
+	// free.
+	Tracer *obs.Tracer
 }
 
 // Counters aggregates retry activity across a Client's calls. All fields
@@ -151,6 +157,8 @@ func decodeError(resp *http.Response) error {
 // response already created. The returned info's Deduped field reports
 // whether the config coalesced onto an existing job.
 func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
+	ctx, span := c.Tracer.Start(ctx, "client.submit")
+	defer span.End()
 	var ji server.JobInfo
 	err := c.withRetry(ctx, "submit", func() error {
 		var err error
@@ -158,8 +166,10 @@ func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobI
 		return err
 	})
 	if err != nil {
+		span.SetErr(err)
 		return server.JobInfo{}, err
 	}
+	span.SetString("job", ji.ID)
 	return ji, nil
 }
 
@@ -250,6 +260,7 @@ func (c *Client) submitOnce(ctx context.Context, req server.JobRequest) (server.
 		return ji, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(ctx, hreq.Header)
 	resp, err := c.http().Do(hreq)
 	if err != nil {
 		return ji, err
@@ -310,6 +321,7 @@ func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	obs.InjectHTTP(ctx, hreq.Header)
 	resp, err := c.http().Do(hreq)
 	if err != nil {
 		return err
@@ -335,6 +347,7 @@ func (c *Client) Stream(ctx context.Context, id string, lastSeq int, fn func(ser
 		return err
 	}
 	hreq.Header.Set("Accept", "text/event-stream")
+	obs.InjectHTTP(ctx, hreq.Header)
 	if lastSeq >= 0 {
 		hreq.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
 	}
@@ -418,6 +431,8 @@ func (c *Client) Wait(ctx context.Context, id string) (server.JobInfo, error) {
 
 // Run is Submit followed by Wait.
 func (c *Client) Run(ctx context.Context, req server.JobRequest) (server.JobInfo, error) {
+	ctx, span := c.Tracer.Start(ctx, "client.run")
+	defer span.End()
 	ji, err := c.Submit(ctx, req)
 	if err != nil {
 		return server.JobInfo{}, err

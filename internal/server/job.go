@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"hybp/internal/obs"
 )
 
 // Job is one admitted, content-addressed unit of work. Its lifecycle is an
@@ -14,6 +16,10 @@ type Job struct {
 	id  string
 	key string
 	req JobRequest
+	// traceSC is the submitting request's span context; the execution
+	// span opened later in runJob parents under it so the client's trace
+	// covers queue wait and execution, not just the POST.
+	traceSC obs.SpanContext
 
 	mu      sync.Mutex
 	info    JobInfo

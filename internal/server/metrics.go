@@ -1,66 +1,129 @@
 package server
 
 import (
-	"expvar"
 	"fmt"
-	"sync/atomic"
+
+	"hybp/internal/cluster"
+	"hybp/internal/obs"
+	"hybp/internal/pipeline"
 )
 
-// latencyBoundsMS are the cumulative histogram bucket upper bounds for job
+// latencyBoundsMS are the histogram bucket upper bounds for job
 // submit→finish latency, in milliseconds. The spread covers instant
 // cache hits (1ms) through full-scale experiment runs (minutes).
 var latencyBoundsMS = []float64{
 	1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 300_000,
 }
 
-// metrics aggregates the server's observability state: expvar counters for
-// admissions and outcomes plus a fixed-bucket latency histogram. The
-// counters are expvar types held per-Server (not published to the global
-// expvar registry, which would collide across httptest instances); hybpd
-// publishes the snapshot function once at startup.
+// execBoundsMS buckets single simulation-point execution time — jobs are
+// seconds, not minutes, so the spread tops out lower than job latency.
+var execBoundsMS = []float64{
+	1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000,
+}
+
+// metrics is the server's observability state, hosted on an obs.Registry
+// so one set of instruments serves both the legacy JSON /metrics snapshot
+// and the Prometheus text exposition at /metrics.prom. The registry is
+// per-Server (a process-global one would collide across httptest
+// instances).
 type metrics struct {
-	submitted, deduped, rejected expvar.Int
-	completed, failed, running   expvar.Int
+	reg *obs.Registry
+
+	submitted, deduped, rejected *obs.Counter
+	completed, failed            *obs.Counter
 	// panics counts handler and job-execution panics recovered into 500s
 	// and failed jobs; shed counts experiment submissions rejected early
 	// by load shedding (before the queue was hard-full).
-	panics, shed expvar.Int
+	panics, shed *obs.Counter
+	running      *obs.Gauge
 
-	latCount atomic.Int64
-	latSumMS atomic.Int64 // integer milliseconds; enough resolution for a sum
-	latBkts  []atomic.Int64
+	latency  *obs.Histogram
+	execTime *obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{latBkts: make([]atomic.Int64, len(latencyBoundsMS)+1)}
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:       reg,
+		submitted: reg.Counter("hybp_jobs_submitted_total", "job submissions accepted for consideration"),
+		deduped:   reg.Counter("hybp_jobs_deduped_total", "submissions coalesced onto an existing job"),
+		rejected:  reg.Counter("hybp_jobs_rejected_total", "submissions refused (queue full or shed)"),
+		shed:      reg.Counter("hybp_jobs_shed_total", "experiment submissions refused by load shedding"),
+		completed: reg.Counter("hybp_jobs_completed_total", "jobs finished successfully"),
+		failed:    reg.Counter("hybp_jobs_failed_total", "jobs finished with a terminal error"),
+		panics:    reg.Counter("hybp_panics_recovered_total", "handler and job panics recovered"),
+		running:   reg.Gauge("hybp_jobs_running", "jobs executing right now"),
+		latency:   reg.Histogram("hybp_job_latency_ms", "job submit-to-finish latency in milliseconds", obs.NewHistogram(latencyBoundsMS)),
+		execTime:  reg.Histogram("hybp_exec_time_ms", "harness local execution time per attempt in milliseconds", obs.NewHistogram(execBoundsMS)),
+	}
+	return m
+}
+
+// registerDerived adds the scrape-time instruments that read state owned
+// elsewhere: harness counters, queue depth, simulated cycles, and — when
+// the server coordinates a cluster — the cluster totals and lease-age
+// distribution. Called once from New after the harness exists.
+func (m *metrics) registerDerived(s *Server) {
+	m.reg.CounterFunc("hybp_harness_submitted_total", "harness job submissions", func() uint64 { return s.har.Stats().Submitted })
+	m.reg.CounterFunc("hybp_harness_deduped_total", "harness submissions deduped on the content key", func() uint64 { return s.har.Stats().Deduped })
+	m.reg.CounterFunc("hybp_harness_executed_total", "jobs computed locally", func() uint64 { return s.har.Stats().Executed })
+	m.reg.CounterFunc("hybp_cache_disk_hits_total", "jobs satisfied from the on-disk result cache", func() uint64 { return s.har.Stats().DiskHits })
+	m.reg.CounterFunc("hybp_harness_remote_total", "jobs resolved by remote cluster workers", func() uint64 { return s.har.Stats().Remote })
+	m.reg.CounterFunc("hybp_retry_total", "job re-executions after transient failures", func() uint64 { return s.har.Stats().Retries })
+	m.reg.CounterFunc("hybp_retry_budget_left", "remaining per-run retry budget", func() uint64 { return s.har.Stats().RetryBudgetLeft })
+	m.reg.CounterFunc("hybp_harness_panics_recovered_total", "worker panics recovered into typed errors", func() uint64 { return s.har.Stats().Panics })
+	m.reg.CounterFunc("hybp_cache_quarantines_total", "corrupt cache entries quarantined and recomputed", func() uint64 { return s.har.Stats().Quarantines })
+	m.reg.CounterFunc("hybp_harness_failed_total", "jobs that exhausted retry", func() uint64 { return s.har.Stats().Failed })
+	m.reg.GaugeFunc("hybp_queue_depth", "admission queue depth", func() int64 { return int64(len(s.queue)) })
+	m.reg.GaugeFunc("hybp_queue_capacity", "admission queue capacity", func() int64 { return int64(cap(s.queue)) })
+	m.reg.CounterFunc("hybp_sim_cycles_total", "cumulative virtual cycles simulated by this process", pipeline.TotalSimulatedCycles)
+
+	if c := s.cfg.Coordinator; c != nil {
+		totals := func(read func(cluster.Totals) uint64) func() uint64 {
+			return func() uint64 { return read(c.Metrics().Totals) }
+		}
+		m.reg.CounterFunc("hybp_cluster_leased_total", "work items handed to workers", totals(func(t cluster.Totals) uint64 { return t.Leased }))
+		m.reg.CounterFunc("hybp_cluster_completed_total", "accepted result uploads", totals(func(t cluster.Totals) uint64 { return t.Completed }))
+		m.reg.CounterFunc("hybp_cluster_expired_total", "leases reclaimed by the janitor", totals(func(t cluster.Totals) uint64 { return t.Expired }))
+		m.reg.CounterFunc("hybp_cluster_reassigned_total", "items re-leased after expiry", totals(func(t cluster.Totals) uint64 { return t.Reassigned }))
+		m.reg.CounterFunc("hybp_cluster_duplicates_total", "uploads for already-resolved items", totals(func(t cluster.Totals) uint64 { return t.Duplicates }))
+		m.reg.CounterFunc("hybp_cluster_failed_total", "terminal worker-side failures", totals(func(t cluster.Totals) uint64 { return t.Failed }))
+		m.reg.CounterFunc("hybp_cluster_rejected_total", "uploads refused for checksum mismatch", totals(func(t cluster.Totals) uint64 { return t.Rejected }))
+		m.reg.CounterFunc("hybp_cluster_local_fallback_total", "offers declined back to local execution", totals(func(t cluster.Totals) uint64 { return t.LocalFallback }))
+		m.reg.GaugeFunc("hybp_cluster_workers_live", "workers currently considered live", func() int64 {
+			n := int64(0)
+			for _, w := range c.Metrics().Workers {
+				if w.Live {
+					n++
+				}
+			}
+			return n
+		})
+		m.reg.Histogram("hybp_cluster_lease_age_ms", "lease grant-to-resolution age in milliseconds", c.LeaseAge())
+	}
 }
 
 // observeLatency records one job's submit→finish latency.
 func (m *metrics) observeLatency(ms int64) {
-	m.latCount.Add(1)
-	m.latSumMS.Add(ms)
-	for i, le := range latencyBoundsMS {
-		if float64(ms) <= le {
-			m.latBkts[i].Add(1)
-			return
-		}
-	}
-	m.latBkts[len(latencyBoundsMS)].Add(1)
+	m.latency.Observe(float64(ms))
 }
 
-// latency snapshots the histogram in cumulative (Prometheus-style) form.
-func (m *metrics) latency() LatencySnapshot {
+// latencySnapshot renders the shared histogram in the legacy JSON shape
+// /metrics has always served (cumulative buckets, "%g"-formatted bounds).
+func (m *metrics) latencySnapshot() LatencySnapshot {
+	s := m.latency.Snapshot()
 	snap := LatencySnapshot{
-		Count:   m.latCount.Load(),
-		SumMS:   float64(m.latSumMS.Load()),
-		Buckets: make([]LatencyBucket, 0, len(m.latBkts)),
+		Count:   int64(s.Count),
+		SumMS:   s.Sum,
+		Buckets: make([]LatencyBucket, 0, len(s.Cumulative)),
 	}
-	cum := int64(0)
-	for i, le := range latencyBoundsMS {
-		cum += m.latBkts[i].Load()
-		snap.Buckets = append(snap.Buckets, LatencyBucket{LE: fmt.Sprintf("%g", le), Count: cum})
+	for i, le := range s.Bounds {
+		snap.Buckets = append(snap.Buckets, LatencyBucket{LE: fmt.Sprintf("%g", le), Count: int64(s.Cumulative[i])})
 	}
-	cum += m.latBkts[len(latencyBoundsMS)].Load()
-	snap.Buckets = append(snap.Buckets, LatencyBucket{LE: "+Inf", Count: cum})
+	total := int64(0)
+	if n := len(s.Cumulative); n > 0 {
+		total = int64(s.Cumulative[n-1])
+	}
+	snap.Buckets = append(snap.Buckets, LatencyBucket{LE: "+Inf", Count: total})
 	return snap
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/harness"
+	"hybp/internal/obs"
 	"hybp/internal/pipeline"
 	"hybp/internal/sim"
 )
@@ -40,8 +43,14 @@ type Config struct {
 	// alive through proxies (default 15s). Tests and the cluster work API
 	// lower it so liveness signals don't cost wall-clock seconds.
 	SSEHeartbeat time.Duration
-	// Logf, when set, receives one line per admission/completion.
-	Logf func(format string, args ...any)
+	// Log, when set, receives structured admission/completion/panic
+	// records (job id, key, trace ids as attrs). Silent by default.
+	Log *slog.Logger
+	// Tracer, when non-nil, records spans for request handling, SSE
+	// sessions, and job execution, and is shared with the harness and
+	// coordinator so the daemon's whole pipeline lands in one ring —
+	// served as a Chrome trace at GET /debug/trace. nil is free.
+	Tracer *obs.Tracer
 	// ShedThreshold is the queue depth at which whole-experiment jobs are
 	// rejected early with 429 while cheap single-point jobs still admit —
 	// graceful degradation under sustained pressure instead of a cliff
@@ -102,13 +111,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SSEHeartbeat <= 0 {
 		cfg.SSEHeartbeat = 15 * time.Second
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if cfg.ShedThreshold == 0 {
 		cfg.ShedThreshold = max(1, cfg.QueueSize*3/4)
 	}
-	hopts := harness.Options{Workers: cfg.HarnessWorkers, CacheDir: cfg.CacheDir, Faults: cfg.Faults}
+	met := newMetrics()
+	hopts := harness.Options{
+		Workers:  cfg.HarnessWorkers,
+		CacheDir: cfg.CacheDir,
+		Faults:   cfg.Faults,
+		Tracer:   cfg.Tracer,
+		ExecHist: met.execTime,
+	}
 	if cfg.Coordinator != nil {
 		hopts.Remote = cfg.Coordinator
 	}
@@ -120,11 +136,12 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		har:     har,
 		sim:     sim.NewRunner(har),
-		met:     newMetrics(),
+		met:     met,
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, cfg.QueueSize),
 		closing: make(chan struct{}),
 	}
+	met.registerDerived(s)
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -133,11 +150,12 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler is the server's HTTP surface, wrapped in panic recovery: a
-// panicking handler answers 500 with a JSON error body and increments
-// panics_recovered instead of tearing down the connection — one bad
-// request must not look like an outage to every other client.
-func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
+// Handler is the server's HTTP surface: request tracing (when a Tracer is
+// configured) inside panic recovery — a panicking handler answers 500
+// with a JSON error body and increments panics_recovered instead of
+// tearing down the connection; one bad request must not look like an
+// outage to every other client.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.traceRequests(s.mux)) }
 
 func (s *Server) recoverPanics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -150,14 +168,67 @@ func (s *Server) recoverPanics(h http.Handler) http.Handler {
 				// Deliberate stream abort; net/http handles it quietly.
 				panic(p)
 			}
-			s.met.panics.Add(1)
-			s.cfg.Logf("panic in %s %s: %v", r.Method, r.URL.Path, p)
+			s.met.panics.Inc()
+			s.cfg.Log.Error("handler panic recovered", "method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(p))
 			// If the handler already streamed a response this write is a
 			// no-op; for the common pre-write case the client gets JSON.
 			writeError(w, http.StatusInternalServerError, "internal error: %v", p)
 		}()
 		h.ServeHTTP(w, r)
 	})
+}
+
+// traceRequests wraps every request in an http.request span, parented
+// under the span context the client propagated in X-Hybp-* headers. With
+// no Tracer configured the mux is served unwrapped — zero overhead.
+func (s *Server) traceRequests(h http.Handler) http.Handler {
+	if s.cfg.Tracer == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.ContextWith(r.Context(), obs.ExtractHTTP(r.Header))
+		ctx, span := s.cfg.Tracer.Start(ctx, "http.request")
+		span.SetString("method", r.Method)
+		span.SetString("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetInt("status", int64(sw.statusCode()))
+		span.End()
+	})
+}
+
+// statusWriter captures the response status for the request span. It must
+// keep implementing http.Flusher: the SSE handler type-asserts it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+func (w *statusWriter) statusCode() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // Stats exposes the shared harness counters (one source of truth with
@@ -177,20 +248,20 @@ func (s *Server) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
 		Cluster: clu,
 		Server: ServerCounters{
-			JobsSubmitted:   s.met.submitted.Value(),
-			JobsDeduped:     s.met.deduped.Value(),
-			JobsRejected:    s.met.rejected.Value(),
-			JobsShed:        s.met.shed.Value(),
-			JobsCompleted:   s.met.completed.Value(),
-			JobsFailed:      s.met.failed.Value(),
+			JobsSubmitted:   int64(s.met.submitted.Value()),
+			JobsDeduped:     int64(s.met.deduped.Value()),
+			JobsRejected:    int64(s.met.rejected.Value()),
+			JobsShed:        int64(s.met.shed.Value()),
+			JobsCompleted:   int64(s.met.completed.Value()),
+			JobsFailed:      int64(s.met.failed.Value()),
 			JobsRunning:     s.met.running.Value(),
-			PanicsRecovered: s.met.panics.Value(),
+			PanicsRecovered: int64(s.met.panics.Value()),
 			QueueDepth:      len(s.queue),
 			QueueCapacity:   cap(s.queue),
 			Draining:        draining,
 		},
 		Harness:         s.har.Stats(),
-		JobLatencyMS:    s.met.latency(),
+		JobLatencyMS:    s.met.latencySnapshot(),
 		SimulatedCycles: pipeline.TotalSimulatedCycles(),
 	}
 }
@@ -239,6 +310,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -291,10 +364,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok {
 		s.mu.Unlock()
-		s.met.submitted.Add(1)
-		s.met.deduped.Add(1)
+		s.met.submitted.Inc()
+		s.met.deduped.Inc()
 		ji := j.resubmit()
-		s.cfg.Logf("dedup %s -> %s (%d submits)", key, id, ji.Submits)
+		s.cfg.Log.Info("job deduped", "job", id, "key", key, "submits", ji.Submits)
 		writeJSON(w, http.StatusOK, ji)
 		return
 	}
@@ -308,9 +381,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the service degrades in fidelity before it degrades in availability.
 	if s.cfg.ShedThreshold >= 0 && canon.Kind == KindExperiment && len(s.queue) >= s.cfg.ShedThreshold {
 		s.mu.Unlock()
-		s.met.submitted.Add(1)
-		s.met.shed.Add(1)
-		s.met.rejected.Add(1)
+		s.met.submitted.Inc()
+		s.met.shed.Inc()
+		s.met.rejected.Inc()
 		retry := s.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
@@ -319,19 +392,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := newJob(id, key, canon)
+	// Remember the submit request's span context so the job's execution
+	// span — which runs later, on a worker goroutine — still joins the
+	// submitting client's trace.
+	j.traceSC = obs.FromContext(r.Context())
 	select {
 	case s.queue <- j:
 		s.jobs[id] = j
 		s.order = append(s.order, id)
 		s.mu.Unlock()
-		s.met.submitted.Add(1)
-		s.cfg.Logf("admit %s (%s), queue %d/%d", id, key, len(s.queue), cap(s.queue))
+		s.met.submitted.Inc()
+		s.cfg.Log.Info("job admitted", "job", id, "key", key,
+			"queue", len(s.queue), "cap", cap(s.queue),
+			"trace", j.traceSC.Trace, "span", j.traceSC.Span)
 		w.Header().Set("Location", "/v1/jobs/"+id)
 		writeJSON(w, http.StatusAccepted, j.Info())
 	default:
 		s.mu.Unlock()
-		s.met.submitted.Add(1)
-		s.met.rejected.Add(1)
+		s.met.submitted.Inc()
+		s.met.rejected.Inc()
 		retry := s.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
@@ -387,6 +466,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
+// handleMetricsProm is GET /metrics.prom: the same instruments as the
+// JSON snapshot, rendered in Prometheus text exposition format 0.0.4.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w)
+}
+
+// handleDebugTrace is GET /debug/trace: the tracer's current ring as
+// Chrome trace-event JSON — download and load into Perfetto. An untraced
+// server serves a valid empty trace.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="hybpd-trace.json"`)
+	_ = obs.WriteChromeTrace(w, s.cfg.Tracer.Snapshot())
+}
+
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream.
 // The full event log is replayed first (resumable via Last-Event-ID), then
 // live events follow; the stream ends after the terminal event, on client
@@ -408,6 +503,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
+	// An SSE session is long-lived; give it its own span (under the
+	// request span traceRequests opened) so slow consumers are visible.
+	sent := int64(0)
+	_, span := s.cfg.Tracer.Start(r.Context(), "sse.session")
+	span.SetString("job", j.id)
+	defer func() {
+		span.SetInt("events", sent)
+		span.End()
+	}()
+
 	last := -1
 	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
 		if n, err := strconv.Atoi(lei); err == nil {
@@ -427,6 +532,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			last = ev.Seq
+			sent++
 		}
 		fl.Flush()
 		if terminal {
@@ -466,6 +572,13 @@ func (s *Server) workerLoop() {
 func (s *Server) runJob(j *Job) {
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
+	// The execution span parents under the submit request's span (captured
+	// in handleSubmit) so one client trace spans queue wait + execution.
+	_, span := s.cfg.Tracer.Start(obs.ContextWith(context.Background(), j.traceSC), "server.job")
+	span.SetString("job", j.id)
+	span.SetString("key", j.key)
+	span.SetString("kind", j.req.Kind)
+	defer span.End()
 	j.start()
 
 	stopProgress := make(chan struct{})
@@ -500,7 +613,7 @@ func (s *Server) runJob(j *Job) {
 		// reaching here is a dispatch-layer bug — recover it all the same.
 		defer func() {
 			if p := recover(); p != nil {
-				s.met.panics.Add(1)
+				s.met.panics.Inc()
 				resCh <- outcome{err: fmt.Errorf("job panicked: %v", p)}
 			}
 		}()
@@ -530,12 +643,15 @@ func (s *Server) runJob(j *Job) {
 	ji := j.Info()
 	s.met.observeLatency(ji.FinishedMS - ji.CreatedMS)
 	if out.err != nil {
-		s.met.failed.Add(1)
-		s.cfg.Logf("fail %s: %v", j.id, out.err)
+		s.met.failed.Inc()
+		span.SetErr(out.err)
+		s.cfg.Log.Error("job failed", "job", j.id, "key", j.key,
+			"ms", ji.FinishedMS-ji.CreatedMS, "err", out.err)
 		return
 	}
-	s.met.completed.Add(1)
-	s.cfg.Logf("done %s in %dms", j.id, ji.FinishedMS-ji.CreatedMS)
+	s.met.completed.Inc()
+	s.cfg.Log.Info("job done", "job", j.id, "key", j.key,
+		"ms", ji.FinishedMS-ji.CreatedMS)
 }
 
 // execute maps a normalized request to the sim runner.
