@@ -1,13 +1,14 @@
 GO ?= go
 
 # Pre-optimization reference measurements (this machine, quick scale,
-# seed 2022, -j 1, cold cache): recorded in BENCH_PR3.json so the report
-# always carries its own before/after. Override when re-baselining.
-BASELINE_COLD ?= 385
-BASELINE_STEP ?= 1661
-BASELINE_NOTE ?= pre-optimization main, hybpexp -scale quick -seed 2022 -j 1, single-core container
+# seed 2022, -j 1, cold cache): recorded in the BENCH report so it always
+# carries its own before/after. Override when re-baselining. The current
+# values are the PR-7 numbers the table-driven QARMA work started from.
+BASELINE_COLD ?= 257.6
+BASELINE_STEP ?= 835
+BASELINE_NOTE ?= PR-7 main (pre table-driven QARMA), hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke record serve loadtest chaos chaossmoke cluster-smoke trace-smoke
+.PHONY: ci vet build test race bench benchsmoke profile record serve loadtest chaos chaossmoke cluster-smoke trace-smoke
 
 # ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
@@ -35,6 +36,7 @@ test:
 # in full — the client test suite hammers one server with concurrent
 # closed-loop clients, which is exactly what the detector should watch.
 race:
+	$(GO) test -race ./internal/cipher/ ./internal/keys/ ./internal/secure/ ./internal/pipeline/
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -race ./internal/harness/...
@@ -71,13 +73,13 @@ serve:
 loadtest:
 	$(GO) run ./cmd/hybpload -addr http://127.0.0.1:8080 -clients 8 -n 64
 
-# bench regenerates BENCH_PR7.json: full micro-benchmarks (diffed against
-# the pinned PR-3 report first, so the regression table is part of the run)
-# plus a timed cold/warm `hybpexp -scale quick all` run with an output
-# digest. Takes minutes; run on an otherwise idle machine or the wall-clock
-# is noise.
+# bench regenerates BENCH_PR8.json: full micro-benchmarks (median of 3 runs
+# each, diffed against the pinned PR-7 report first, so the regression table
+# is part of the run) plus a timed cold/warm `hybpexp -scale quick all` run
+# with an output digest. Takes minutes; run on an otherwise idle machine or
+# the wall-clock is noise.
 bench:
-	$(GO) run ./cmd/hybpbench -out BENCH_PR7.json -baseline BENCH_PR3.json \
+	$(GO) run ./cmd/hybpbench -out BENCH_PR8.json -baseline BENCH_PR7.json \
 	    -baseline-cold $(BASELINE_COLD) -baseline-step $(BASELINE_STEP) \
 	    -baseline-note "$(BASELINE_NOTE)"
 
@@ -85,6 +87,15 @@ bench:
 # and skips the experiment timing — the cheap CI gate.
 benchsmoke:
 	$(GO) run ./cmd/hybpbench -smoke
+
+# profile runs a quick-scale sweep under the CPU profiler and prints the
+# top-10 flat functions — the first step of every perf PR (both rounds of
+# the PR-8 optimization work started from exactly this view).
+PROFILE_OUT ?= /tmp/hybp-cpu.pprof
+profile:
+	$(GO) run ./cmd/hybpexp -scale quick -seed 2022 -j 1 -progress=false \
+	    -cpuprofile $(PROFILE_OUT) all > /dev/null
+	$(GO) tool pprof -top -flat -nodecount=10 $(PROFILE_OUT)
 
 # record regenerates the EXPERIMENTS.md reference run.
 record:

@@ -17,6 +17,12 @@
 //	                                         pinned report; -strict exits
 //	                                         nonzero on >10% ns/op regressions
 //
+// Each benchmark runs -reps times (default 3, via go test -count) and the
+// report records the per-metric median, so one noisy scheduler quantum can't
+// trip the -strict gate — single-run compares flagged spurious >10% swings
+// (see EXPERIMENTS.md, "Tracing overhead"). -smoke keeps a single iteration:
+// its job is compile-and-parse coverage, not stable numbers.
+//
 // The experiment run is content-hashed (FNV-1a over the JSON output with
 // the wall-clock "seconds" fields stripped), so two reports are
 // bit-identical iff their digests match — the guard the PR-3 optimization
@@ -36,6 +42,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -70,6 +77,9 @@ type benchEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Reps is how many runs the medians were taken over (absent in reports
+	// predating the median change, which recorded single runs).
+	Reps int `json:"reps,omitempty"`
 }
 
 type expTiming struct {
@@ -103,12 +113,18 @@ func main() {
 		baseNote  = flag.String("baseline-note", "", "provenance note for the baseline numbers")
 		baseFile  = flag.String("baseline", "", "compare mode: rerun benchmarks and diff ns/op, B/op, allocs/op against this pinned BENCH_*.json report instead of writing a new one")
 		strict    = flag.Bool("strict", false, "with -baseline, exit nonzero when any benchmark regresses more than 10% in ns/op")
+		reps      = flag.Int("reps", 3, "runs per benchmark (go test -count); the report records per-metric medians")
 	)
 	flag.Parse()
 
 	bt := *benchtime
+	n := *reps
+	if n < 1 {
+		n = 1
+	}
 	if *smoke {
 		bt = "1x"
+		n = 1
 	}
 
 	rep := report{
@@ -121,15 +137,15 @@ func main() {
 	}
 
 	for _, pkg := range benchPackages {
-		entries, err := runBench(pkg, bt)
+		entries, err := runBench(pkg, bt, n)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybpbench: %s: %v\n", pkg, err)
 			os.Exit(1)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, entries...)
 	}
-	fmt.Fprintf(os.Stderr, "hybpbench: %d benchmarks across %d packages\n",
-		len(rep.Benchmarks), len(benchPackages))
+	fmt.Fprintf(os.Stderr, "hybpbench: %d benchmarks across %d packages (median of %d run(s))\n",
+		len(rep.Benchmarks), len(benchPackages), n)
 
 	// Compare mode historically discarded the fresh measurements. When -out
 	// is ALSO set explicitly, do both: print the regression table against
@@ -272,34 +288,81 @@ func fmtPct(p float64) string {
 // (the -cpu suffix and the B/op / allocs/op fields are optional).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
 
-// runBench executes one package's benchmarks and parses the results.
-func runBench(pkg, benchtime string) ([]benchEntry, error) {
+// runBench executes one package's benchmarks reps times in a single
+// `go test -count=reps` invocation (one compile, interleaved runs) and
+// reduces the per-run samples to per-metric medians. The median, not the
+// mean, because benchmark noise is one-sided — a descheduled run is slow,
+// never fast — so the mean drifts upward with outliers the median ignores.
+func runBench(pkg, benchtime string, reps int) ([]benchEntry, error) {
 	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", ".",
-		"-benchtime", benchtime, "-benchmem", pkg)
+		"-benchtime", benchtime, "-count", strconv.Itoa(reps), "-benchmem", pkg)
 	var outBuf, errBuf bytes.Buffer
 	cmd.Stdout = &outBuf
 	cmd.Stderr = &errBuf
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("%v\n%s%s", err, outBuf.String(), errBuf.String())
 	}
-	var entries []benchEntry
+	type samples struct {
+		ns, bytes, allocs []float64
+	}
+	byName := make(map[string]*samples)
+	var order []string // report entries in first-seen (file) order
 	sc := bufio.NewScanner(&outBuf)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		e := benchEntry{Package: strings.TrimPrefix(pkg, "./"), Name: m[1]}
-		e.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		s := byName[m[1]]
+		if s == nil {
+			s = &samples{}
+			byName[m[1]] = s
+			order = append(order, m[1])
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		s.ns = append(s.ns, ns)
 		if m[3] != "" {
-			e.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			v, _ := strconv.ParseFloat(m[3], 64)
+			s.bytes = append(s.bytes, v)
 		}
 		if m[4] != "" {
-			e.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			v, _ := strconv.ParseFloat(m[4], 64)
+			s.allocs = append(s.allocs, v)
 		}
-		entries = append(entries, e)
 	}
-	return entries, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	entries := make([]benchEntry, 0, len(order))
+	for _, name := range order {
+		s := byName[name]
+		entries = append(entries, benchEntry{
+			Package:     strings.TrimPrefix(pkg, "./"),
+			Name:        name,
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+			Reps:        len(s.ns),
+		})
+	}
+	return entries, nil
+}
+
+// median of a sample set; zero for an empty one (unmeasured metric). Each
+// metric is reduced independently — the ns/op median and the B/op median may
+// come from different runs, which is fine: the gate compares metrics, not
+// runs.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 0 {
+		return (s[mid-1] + s[mid]) / 2
+	}
+	return s[mid]
 }
 
 // secondsField strips the wall-clock field from hybpexp -json lines so the

@@ -18,3 +18,48 @@ func TestEncryptZeroAllocs(t *testing.T) {
 		t.Fatalf("Encrypt allocates %.2f objects/op, want 0", avg)
 	}
 }
+
+// TestEncryptCachedTweakZeroAllocs pins the memoized-schedule fast path:
+// repeated encryptions under one tweak (the refresh pattern — every code-book
+// word shares the tweak seed⊕epoch) must hit the cached schedule without
+// allocating.
+func TestEncryptCachedTweakZeroAllocs(t *testing.T) {
+	q := NewQarma([2]uint64{0x84BE85CE9804E94B, 0xEC2802D4E0A488E9})
+	const tweak = 0x1D8AF ^ 42
+	q.Encrypt(0, tweak) // warm the schedule
+	i := uint64(0)
+	avg := testing.AllocsPerRun(4096, func() {
+		allocSink ^= q.Encrypt(i, tweak)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("cached-tweak Encrypt allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestEncryptBlocksZeroAllocs pins the batch fill: EncryptBlocks writes into
+// caller-owned scratch and must not allocate, or every context switch would
+// produce garbage proportional to the code-book size.
+func TestEncryptBlocksZeroAllocs(t *testing.T) {
+	q := NewQarma([2]uint64{0x84BE85CE9804E94B, 0xEC2802D4E0A488E9})
+	dst := make([]uint64, 257)
+	i := uint64(0)
+	avg := testing.AllocsPerRun(128, func() {
+		q.EncryptBlocks(dst, i, i^0xBEEF)
+		allocSink ^= dst[0]
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("EncryptBlocks allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkQarmaEncryptVaryingTweak measures the schedule-rebuild path (a new
+// tweak every call, so the memo never hits), the worst case for the cipher;
+// BenchmarkQarmaEncrypt's fixed tweak measures the refresh-pattern fast path.
+func BenchmarkQarmaEncryptVaryingTweak(b *testing.B) {
+	q := NewQarma([2]uint64{0x84BE85CE9804E94B, 0xEC2802D4E0A488E9})
+	for i := 0; i < b.N; i++ {
+		allocSink ^= q.Encrypt(uint64(i), uint64(i)*0x9E3779B97F4A7C15)
+	}
+}

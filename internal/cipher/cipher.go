@@ -38,6 +38,18 @@ type Cipher interface {
 	Name() string
 }
 
+// Bulk is implemented by ciphers that can amortize per-tweak setup (tweak
+// schedule expansion) across many sequential counter blocks under one
+// tweak. This is exactly the shape of a code-book refresh (internal/keys):
+// the hardware engine of paper Figure 4 streams one SRAM word per cycle
+// from consecutive timer readouts under a single (seed, epoch) tweak, so
+// the software model batches the same way instead of paying per-block
+// setup 257 times per refresh.
+type Bulk interface {
+	// EncryptBlocks sets dst[i] = Encrypt(first+i, tweak) for every i.
+	EncryptBlocks(dst []uint64, first, tweak uint64)
+}
+
 // XORCipher is the keyed XOR encoding used by HyBP for table *content*
 // (Section V-C: "we choose to use a simple XOR encryption"). It is linear;
 // its security in HyBP comes from the width of the content and from key

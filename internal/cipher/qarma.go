@@ -12,11 +12,27 @@ package cipher
 // HyBP uses this cipher off the critical path to fill the randomized index
 // keys table ("code book", paper Section V-C and Figure 4), so its 8-cycle
 // latency never appears in the prediction path.
+//
+// Implementation note: the per-round operations run table-driven, one byte
+// (two cells) at a time — the cell shuffle and MixColumns are fused into
+// per-byte-position lookup tables built at init from the reference
+// per-nibble helpers in qarma_ref.go, and the S-box is applied through a
+// 256-entry byte table. The forward tweak schedule is memoized on the
+// struct keyed by tweak, because the dominant caller (a code-book refresh,
+// internal/keys) streams 256+ blocks under one tweak. The reference core
+// remains as refCore and TestQarmaOptimizedMatchesRef pins the two
+// bit-identical.
 type Qarma struct {
 	w0, w1 uint64 // whitening keys
 	k0, k1 uint64 // core keys
 	rounds int
-	tks    [8]uint64 // tweak-schedule scratch; rounds ≤ 8, reused per call
+
+	// Memoized forward tweak schedule (a Qarma is single-context, like the
+	// hardware engine it models — calls must not be concurrent). tkValid
+	// distinguishes "never expanded" from a cached all-zero tweak.
+	tks     [8]uint64
+	tkTweak uint64
+	tkValid bool
 }
 
 // QarmaRounds is the default number of forward (and backward) rounds,
@@ -57,6 +73,73 @@ var qarmaRC = [8]uint64{
 	0x9216D5D98979FB1B,
 }
 
+// Fused per-byte lookup tables for the linear layers. Entry [j][b] is the
+// image of the state byte j (cells 2j and 2j+1) holding value b, with all
+// other cells zero; because every layer here is GF(2)-linear, the image of
+// a full state is the XOR of its eight per-byte images. Built at init from
+// the reference helpers, so the tables are correct by construction.
+var (
+	qarmaSbox8    [256]byte // S-box on both nibbles of a byte
+	qarmaSboxInv8 [256]byte
+	// fwdTab: shuffle τ then MixColumns M — the linear layer of a forward
+	// round and of the reflector's first half.
+	qarmaFwdTab [8][256]uint64
+	// mixPermInvTab: MixColumns M then inverse shuffle τ⁻¹ — the
+	// reflector's second half.
+	qarmaMixPermInvTab [8][256]uint64
+	// bwdTab: inverse S-box, then M, then τ⁻¹ — a whole backward round op
+	// (its S-box is cell-local, so it fuses into the same byte table).
+	qarmaBwdTab [8][256]uint64
+	// tweakTab: tweak-cell permutation h then the ω LFSR (ω(0) = 0, so the
+	// cells a byte's image does not own stay zero and XOR-combining per-byte
+	// images is exact).
+	qarmaTweakTab [8][256]uint64
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		qarmaSbox8[b] = qarmaSbox[b&0xF] | qarmaSbox[b>>4]<<4
+		qarmaSboxInv8[b] = qarmaSboxInv[b&0xF] | qarmaSboxInv[b>>4]<<4
+	}
+	for j := uint(0); j < 8; j++ {
+		for b := 0; b < 256; b++ {
+			w := uint64(b) << (8 * j)
+			qarmaFwdTab[j][b] = qarmaMix(permuteCells(w, &qarmaShuffle))
+			qarmaMixPermInvTab[j][b] = permuteCells(qarmaMix(w), &qarmaShuffleInv)
+			qarmaBwdTab[j][b] = permuteCells(qarmaMix(uint64(qarmaSboxInv8[b])<<(8*j)), &qarmaShuffleInv)
+			tw := permuteCells(w, &qarmaTweakPerm)
+			for _, c := range qarmaLFSRCells {
+				tw = setCell(tw, c, lfsrOmega(cell(tw, c)))
+			}
+			qarmaTweakTab[j][b] = tw
+		}
+	}
+}
+
+// lookup8 applies a fused linear layer: XOR of the eight per-byte images.
+func lookup8(tab *[8][256]uint64, s uint64) uint64 {
+	return tab[0][s&0xFF] ^
+		tab[1][s>>8&0xFF] ^
+		tab[2][s>>16&0xFF] ^
+		tab[3][s>>24&0xFF] ^
+		tab[4][s>>32&0xFF] ^
+		tab[5][s>>40&0xFF] ^
+		tab[6][s>>48&0xFF] ^
+		tab[7][s>>56]
+}
+
+// subCells8 applies a 4-bit S-box to all sixteen cells, one byte at a time.
+func subCells8(s uint64, box *[256]byte) uint64 {
+	return uint64(box[s&0xFF]) |
+		uint64(box[s>>8&0xFF])<<8 |
+		uint64(box[s>>16&0xFF])<<16 |
+		uint64(box[s>>24&0xFF])<<24 |
+		uint64(box[s>>32&0xFF])<<32 |
+		uint64(box[s>>40&0xFF])<<40 |
+		uint64(box[s>>48&0xFF])<<48 |
+		uint64(box[s>>56])<<56
+}
+
 // NewQarma builds a Qarma instance from a 128-bit key (two 64-bit words)
 // with the default round count.
 func NewQarma(key [2]uint64) *Qarma { return NewQarmaRounds(key, QarmaRounds) }
@@ -88,6 +171,17 @@ func (q *Qarma) Decrypt(block, tweak uint64) uint64 {
 	return q.core(block, tweak, qarmaAlpha, 0, q.w1, q.w0)
 }
 
+// EncryptBlocks implements Bulk: dst[i] = Encrypt(first+i, tweak). The
+// tweak schedule is expanded once for the whole batch — the shape of a
+// code-book refresh, which streams 256+ counter blocks under the single
+// tweak seed⊕epoch.
+func (q *Qarma) EncryptBlocks(dst []uint64, first, tweak uint64) {
+	q.tweakSchedule(tweak) // warm the memo; core hits it per block
+	for i := range dst {
+		dst[i] = q.core(first+uint64(i), tweak, 0, qarmaAlpha, q.w0, q.w1)
+	}
+}
+
 // Latency implements Cipher. The paper quotes 8 cycles for QARMA on a
 // 4 GHz pipeline (Sections I and V-A).
 func (q *Qarma) Latency() int { return 8 }
@@ -96,140 +190,65 @@ func (q *Qarma) Latency() int { return 8 }
 func (q *Qarma) Name() string { return "qarma64" }
 
 // core runs whitening, forward rounds keyed with alphaF, the central
-// reflector, and backward rounds keyed with alphaB. Encryption and
-// decryption are the same circuit with the (wIn, wOut) whitening keys and
-// the (alphaF, alphaB) constants swapped: the backward loop is the exact
-// inverse of the forward loop under the same tweak schedule, and the
-// central reflector is an involution.
+// reflector, and backward rounds keyed with alphaB — the table-driven twin
+// of refCore (qarma_ref.go), which documents the round structure in its
+// original per-nibble form. Encryption and decryption are the same circuit
+// with the (wIn, wOut) whitening keys and the (alphaF, alphaB) constants
+// swapped.
 func (q *Qarma) core(x, tweak uint64, alphaF, alphaB, wIn, wOut uint64) uint64 {
 	tks := q.tweakSchedule(tweak)
 	s := x ^ wIn
 
-	for i := 0; i < q.rounds; i++ {
+	// Forward rounds: tweakey addition, fused shuffle+MixColumns (skipped
+	// in round 0, as in the reference), bytewise S-box.
+	s ^= q.k0 ^ tks[0] ^ qarmaRC[0] ^ alphaF
+	s = subCells8(s, &qarmaSbox8)
+	for i := 1; i < q.rounds; i++ {
 		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaF
-		if i > 0 {
-			s = permuteCells(s, &qarmaShuffle)
-			s = qarmaMix(s)
-		}
-		s = subCells(s, &qarmaSbox)
+		s = lookup8(&qarmaFwdTab, s)
+		s = subCells8(s, &qarmaSbox8)
 	}
 
 	// Central reflector: conjugating the k1 addition by the linear layer
 	// makes this block an involution, so the same circuit serves both
 	// directions.
 	s ^= q.w1
-	s = permuteCells(s, &qarmaShuffle)
-	s = qarmaMix(s)
+	s = lookup8(&qarmaFwdTab, s)
 	s ^= q.k1
-	s = qarmaMix(s) // qarmaMix is an involution (circ(0, ρ¹, ρ², ρ¹))
-	s = permuteCells(s, &qarmaShuffleInv)
+	s = lookup8(&qarmaMixPermInvTab, s)
 	s ^= q.w1
 
-	for i := q.rounds - 1; i >= 0; i-- {
-		s = subCells(s, &qarmaSboxInv)
-		if i > 0 {
-			s = qarmaMix(s)
-			s = permuteCells(s, &qarmaShuffleInv)
-		}
+	// Backward rounds: the whole inverse round op (S-box⁻¹, MixColumns,
+	// shuffle⁻¹) is one fused table; round 0 has no linear layer.
+	for i := q.rounds - 1; i >= 1; i-- {
+		s = lookup8(&qarmaBwdTab, s)
 		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaB
 	}
+	s = subCells8(s, &qarmaSboxInv8)
+	s ^= q.k0 ^ tks[0] ^ qarmaRC[0] ^ alphaB
 	return s ^ wOut
 }
 
 // tweakSchedule expands the tweak for each forward round into the
-// instance's scratch array (a Qarma is single-context, like the hardware
-// engine it models — calls must not be concurrent); the backward rounds
-// reuse the same schedule in reverse.
+// instance's scratch array, memoized on the tweak: the code-book refresh
+// encrypts 256+ words under one tweak, and before the memo every one of
+// those calls re-derived the identical schedule. The backward rounds reuse
+// the same schedule in reverse.
 func (q *Qarma) tweakSchedule(tweak uint64) []uint64 {
 	tks := q.tks[:q.rounds]
+	if q.tkValid && q.tkTweak == tweak {
+		return tks
+	}
 	tk := tweak
 	for i := range tks {
 		tks[i] = tk
-		tk = nextTweak(tk)
+		tk = nextTweakFast(tk)
 	}
+	q.tkTweak = tweak
+	q.tkValid = true
 	return tks
 }
 
-// nextTweak applies the cell permutation h and the ω LFSR to the cells
-// QARMA designates.
-func nextTweak(t uint64) uint64 {
-	t = permuteCells(t, &qarmaTweakPerm)
-	for _, c := range qarmaLFSRCells {
-		t = setCell(t, c, lfsrOmega(cell(t, c)))
-	}
-	return t
-}
-
-// lfsrOmega is QARMA's ω: (b3,b2,b1,b0) → (b0⊕b1, b3, b2, b1).
-func lfsrOmega(b byte) byte {
-	return ((b&1 ^ (b>>1)&1) << 3) | (b >> 1)
-}
-
-// qarmaMix applies MixColumns with the involutory circulant
-// M = circ(0, ρ¹, ρ², ρ¹) of cell rotations, columns being cells
-// {c, c+4, c+8, c+12}.
-func qarmaMix(s uint64) uint64 {
-	var out uint64
-	for col := 0; col < 4; col++ {
-		var in [4]byte
-		for row := 0; row < 4; row++ {
-			in[row] = cell(s, col+4*row)
-		}
-		for row := 0; row < 4; row++ {
-			v := rotCell(in[(row+1)&3], 1) ^ rotCell(in[(row+2)&3], 2) ^ rotCell(in[(row+3)&3], 1)
-			out = setCell(out, col+4*row, v)
-		}
-	}
-	return out
-}
-
-// --- 4-bit cell helpers shared with prince.go ---
-
-// cell extracts 4-bit cell i (cell 0 is the least significant nibble).
-func cell(s uint64, i int) byte { return byte(s>>(4*uint(i))) & 0xF }
-
-// setCell returns s with cell i replaced by v.
-func setCell(s uint64, i int, v byte) uint64 {
-	sh := 4 * uint(i)
-	return (s &^ (0xF << sh)) | uint64(v&0xF)<<sh
-}
-
-// rotCell rotates a 4-bit value left by r.
-func rotCell(c byte, r uint) byte {
-	return ((c << r) | (c >> (4 - r))) & 0xF
-}
-
-// subCells applies a 4-bit S-box to every cell.
-func subCells(s uint64, box *[16]byte) uint64 {
-	var out uint64
-	for i := 0; i < 16; i++ {
-		out |= uint64(box[cell(s, i)]) << (4 * uint(i))
-	}
-	return out
-}
-
-// permuteCells rearranges cells so that output cell i takes input cell p[i].
-func permuteCells(s uint64, p *[16]byte) uint64 {
-	var out uint64
-	for i := 0; i < 16; i++ {
-		out = setCell(out, i, cell(s, int(p[i])))
-	}
-	return out
-}
-
-// invertPerm16 inverts a 16-element permutation; it panics on non-permutations
-// to catch constant typos at init time.
-func invertPerm16(p [16]byte) [16]byte {
-	var inv [16]byte
-	var seen [16]bool
-	for i, v := range p {
-		if v >= 16 || seen[v] {
-			panic("cipher: table is not a permutation")
-		}
-		seen[v] = true
-		inv[v] = byte(i)
-	}
-	return inv
-}
-
-func ror64(x uint64, r uint) uint64 { return (x >> r) | (x << (64 - r)) }
+// nextTweakFast is nextTweak (h permutation + ω LFSR) through the fused
+// per-byte table.
+func nextTweakFast(t uint64) uint64 { return lookup8(&qarmaTweakTab, t) }

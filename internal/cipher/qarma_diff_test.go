@@ -1,0 +1,112 @@
+package cipher
+
+import (
+	"testing"
+
+	"hybp/internal/rng"
+)
+
+// TestQarmaOptimizedMatchesRef is the bit-identity gate for the
+// table-driven core: over randomized (key, block, tweak) sweeps, every
+// round count 1–8, both directions, the fast core must equal the reference
+// per-nibble core in qarma_ref.go exactly. The experiments' determinism
+// (golden digests, chaos byte-identity) rests on this equality.
+func TestQarmaOptimizedMatchesRef(t *testing.T) {
+	r := rng.New(0x9A12)
+	for rounds := 1; rounds <= 8; rounds++ {
+		for trial := 0; trial < 300; trial++ {
+			key := [2]uint64{r.Uint64(), r.Uint64()}
+			q := NewQarmaRounds(key, rounds)
+			block, tweak := r.Uint64(), r.Uint64()
+
+			ct := q.Encrypt(block, tweak)
+			if want := q.refEncrypt(block, tweak); ct != want {
+				t.Fatalf("rounds=%d key=%x: Encrypt(%#x, %#x) = %#x, ref %#x",
+					rounds, key, block, tweak, ct, want)
+			}
+			if got, want := q.Decrypt(ct, tweak), q.refDecrypt(ct, tweak); got != want {
+				t.Fatalf("rounds=%d key=%x: Decrypt(%#x, %#x) = %#x, ref %#x",
+					rounds, key, ct, tweak, got, want)
+			}
+			if got := q.Decrypt(ct, tweak); got != block {
+				t.Fatalf("rounds=%d key=%x: round trip %#x -> %#x -> %#x",
+					rounds, key, block, ct, got)
+			}
+		}
+	}
+}
+
+// TestQarmaOptimizedMatchesRefEdgeTweaks covers the memoization edges the
+// random sweep is unlikely to hit: the zero tweak (which a zero-valued
+// memo must not confuse with "never expanded"), repeated tweaks, and
+// tweak/block aliasing.
+func TestQarmaOptimizedMatchesRefEdgeTweaks(t *testing.T) {
+	q := NewQarma([2]uint64{0x84BE85CE9804E94B, 0xEC2802D4E0A488E9})
+	tweaks := []uint64{0, 0, 1, 0, ^uint64(0), 1, 1, 0x8000000000000000}
+	for _, tw := range tweaks {
+		for _, b := range []uint64{0, 1, tw, ^uint64(0)} {
+			if got, want := q.Encrypt(b, tw), q.refEncrypt(b, tw); got != want {
+				t.Fatalf("Encrypt(%#x, %#x) = %#x, ref %#x", b, tw, got, want)
+			}
+			if got, want := q.Decrypt(b, tw), q.refDecrypt(b, tw); got != want {
+				t.Fatalf("Decrypt(%#x, %#x) = %#x, ref %#x", b, tw, got, want)
+			}
+		}
+	}
+}
+
+// TestNextTweakFastMatchesRef pins the fused h+ω table against the
+// reference tweak evolution.
+func TestNextTweakFastMatchesRef(t *testing.T) {
+	r := rng.New(0x77)
+	for i := 0; i < 20000; i++ {
+		tw := r.Uint64()
+		if got, want := nextTweakFast(tw), nextTweak(tw); got != want {
+			t.Fatalf("nextTweakFast(%#x) = %#x, ref %#x", tw, got, want)
+		}
+	}
+	if nextTweakFast(0) != nextTweak(0) {
+		t.Fatal("nextTweakFast(0) diverges from reference")
+	}
+}
+
+// TestSubAndLinearTablesMatchRef pins the individual fused layers against
+// their per-nibble constructions on random states, localizing a failure of
+// the core-level differential test to a specific table.
+func TestSubAndLinearTablesMatchRef(t *testing.T) {
+	r := rng.New(0x1CE)
+	for i := 0; i < 20000; i++ {
+		s := r.Uint64()
+		if got, want := subCells8(s, &qarmaSbox8), subCells(s, &qarmaSbox); got != want {
+			t.Fatalf("subCells8(%#x) = %#x, ref %#x", s, got, want)
+		}
+		if got, want := subCells8(s, &qarmaSboxInv8), subCells(s, &qarmaSboxInv); got != want {
+			t.Fatalf("subCells8 inv(%#x) = %#x, ref %#x", s, got, want)
+		}
+		if got, want := lookup8(&qarmaFwdTab, s), qarmaMix(permuteCells(s, &qarmaShuffle)); got != want {
+			t.Fatalf("fwdTab(%#x) = %#x, ref %#x", s, got, want)
+		}
+		if got, want := lookup8(&qarmaMixPermInvTab, s), permuteCells(qarmaMix(s), &qarmaShuffleInv); got != want {
+			t.Fatalf("mixPermInvTab(%#x) = %#x, ref %#x", s, got, want)
+		}
+		if got, want := lookup8(&qarmaBwdTab, s),
+			permuteCells(qarmaMix(subCells(s, &qarmaSboxInv)), &qarmaShuffleInv); got != want {
+			t.Fatalf("bwdTab(%#x) = %#x, ref %#x", s, got, want)
+		}
+	}
+}
+
+// TestEncryptBlocksMatchesEncrypt pins the batch API to the scalar one.
+func TestEncryptBlocksMatchesEncrypt(t *testing.T) {
+	q := NewQarma(testKey)
+	scalar := NewQarma(testKey)
+	dst := make([]uint64, 257)
+	for _, tw := range []uint64{0, 42, ^uint64(0)} {
+		q.EncryptBlocks(dst, 0xABCD, tw)
+		for i, got := range dst {
+			if want := scalar.Encrypt(0xABCD+uint64(i), tw); got != want {
+				t.Fatalf("EncryptBlocks[%d] tweak %#x = %#x, want %#x", i, tw, got, want)
+			}
+		}
+	}
+}

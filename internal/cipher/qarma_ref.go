@@ -1,0 +1,152 @@
+package cipher
+
+// This file is the reference QARMA-64 core: the original per-nibble
+// implementation, kept verbatim as the executable specification of the
+// cipher. The table-driven core in qarma.go is required to match it
+// bit-for-bit (TestQarmaOptimizedMatchesRef sweeps keys, tweaks, blocks,
+// and every round count over both directions), and the fused lookup
+// tables are *built* from these helpers at init time, so any edit here
+// changes both implementations together — a divergence can only come
+// from a bug in the fast path, which the differential test then catches.
+//
+// The helpers double as the shared 4-bit cell toolkit used by prince.go.
+
+// refEncrypt runs Encrypt through the reference per-nibble core.
+func (q *Qarma) refEncrypt(block, tweak uint64) uint64 {
+	return q.refCore(block, tweak, 0, qarmaAlpha, q.w0, q.w1)
+}
+
+// refDecrypt runs Decrypt through the reference per-nibble core.
+func (q *Qarma) refDecrypt(block, tweak uint64) uint64 {
+	return q.refCore(block, tweak, qarmaAlpha, 0, q.w1, q.w0)
+}
+
+// refCore is the original loop-based core: whitening, forward rounds keyed
+// with alphaF, the central reflector, and backward rounds keyed with
+// alphaB. Encryption and decryption are the same circuit with the
+// (wIn, wOut) whitening keys and the (alphaF, alphaB) constants swapped:
+// the backward loop is the exact inverse of the forward loop under the
+// same tweak schedule, and the central reflector is an involution.
+func (q *Qarma) refCore(x, tweak uint64, alphaF, alphaB, wIn, wOut uint64) uint64 {
+	var tks [8]uint64
+	tk := tweak
+	for i := 0; i < q.rounds; i++ {
+		tks[i] = tk
+		tk = nextTweak(tk)
+	}
+	s := x ^ wIn
+
+	for i := 0; i < q.rounds; i++ {
+		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaF
+		if i > 0 {
+			s = permuteCells(s, &qarmaShuffle)
+			s = qarmaMix(s)
+		}
+		s = subCells(s, &qarmaSbox)
+	}
+
+	// Central reflector: conjugating the k1 addition by the linear layer
+	// makes this block an involution, so the same circuit serves both
+	// directions.
+	s ^= q.w1
+	s = permuteCells(s, &qarmaShuffle)
+	s = qarmaMix(s)
+	s ^= q.k1
+	s = qarmaMix(s) // qarmaMix is an involution (circ(0, ρ¹, ρ², ρ¹))
+	s = permuteCells(s, &qarmaShuffleInv)
+	s ^= q.w1
+
+	for i := q.rounds - 1; i >= 0; i-- {
+		s = subCells(s, &qarmaSboxInv)
+		if i > 0 {
+			s = qarmaMix(s)
+			s = permuteCells(s, &qarmaShuffleInv)
+		}
+		s ^= q.k0 ^ tks[i] ^ qarmaRC[i] ^ alphaB
+	}
+	return s ^ wOut
+}
+
+// nextTweak applies the cell permutation h and the ω LFSR to the cells
+// QARMA designates.
+func nextTweak(t uint64) uint64 {
+	t = permuteCells(t, &qarmaTweakPerm)
+	for _, c := range qarmaLFSRCells {
+		t = setCell(t, c, lfsrOmega(cell(t, c)))
+	}
+	return t
+}
+
+// lfsrOmega is QARMA's ω: (b3,b2,b1,b0) → (b0⊕b1, b3, b2, b1).
+func lfsrOmega(b byte) byte {
+	return ((b&1 ^ (b>>1)&1) << 3) | (b >> 1)
+}
+
+// qarmaMix applies MixColumns with the involutory circulant
+// M = circ(0, ρ¹, ρ², ρ¹) of cell rotations, columns being cells
+// {c, c+4, c+8, c+12}.
+func qarmaMix(s uint64) uint64 {
+	var out uint64
+	for col := 0; col < 4; col++ {
+		var in [4]byte
+		for row := 0; row < 4; row++ {
+			in[row] = cell(s, col+4*row)
+		}
+		for row := 0; row < 4; row++ {
+			v := rotCell(in[(row+1)&3], 1) ^ rotCell(in[(row+2)&3], 2) ^ rotCell(in[(row+3)&3], 1)
+			out = setCell(out, col+4*row, v)
+		}
+	}
+	return out
+}
+
+// --- 4-bit cell helpers shared with prince.go ---
+
+// cell extracts 4-bit cell i (cell 0 is the least significant nibble).
+func cell(s uint64, i int) byte { return byte(s>>(4*uint(i))) & 0xF }
+
+// setCell returns s with cell i replaced by v.
+func setCell(s uint64, i int, v byte) uint64 {
+	sh := 4 * uint(i)
+	return (s &^ (0xF << sh)) | uint64(v&0xF)<<sh
+}
+
+// rotCell rotates a 4-bit value left by r.
+func rotCell(c byte, r uint) byte {
+	return ((c << r) | (c >> (4 - r))) & 0xF
+}
+
+// subCells applies a 4-bit S-box to every cell.
+func subCells(s uint64, box *[16]byte) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		out |= uint64(box[cell(s, i)]) << (4 * uint(i))
+	}
+	return out
+}
+
+// permuteCells rearranges cells so that output cell i takes input cell p[i].
+func permuteCells(s uint64, p *[16]byte) uint64 {
+	var out uint64
+	for i := 0; i < 16; i++ {
+		out = setCell(out, i, cell(s, int(p[i])))
+	}
+	return out
+}
+
+// invertPerm16 inverts a 16-element permutation; it panics on non-permutations
+// to catch constant typos at init time.
+func invertPerm16(p [16]byte) [16]byte {
+	var inv [16]byte
+	var seen [16]bool
+	for i, v := range p {
+		if v >= 16 || seen[v] {
+			panic("cipher: table is not a permutation")
+		}
+		seen[v] = true
+		inv[v] = byte(i)
+	}
+	return inv
+}
+
+func ror64(x uint64, r uint) uint64 { return (x >> r) | (x << (64 - r)) }

@@ -2,6 +2,8 @@ package keys
 
 import (
 	"testing"
+
+	"hybp/internal/cipher"
 )
 
 // TestKeyZeroAllocs pins the prediction-path reads allocation-free: Key,
@@ -33,5 +35,24 @@ func TestRefreshZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("Refresh allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkRefreshWarmSchedule isolates the code-book fill with the tweak
+// schedule already expanded: every word of one refresh shares the tweak
+// seed⊕epoch, so after the first block the cipher runs pure table lookups.
+// Contrast with BenchmarkRefresh, which also pays the per-refresh schedule
+// expansion and key-extraction loop.
+func BenchmarkRefreshWarmSchedule(b *testing.B) {
+	cfg := DefaultConfig(7)
+	bulk, ok := cfg.Cipher.(cipher.Bulk)
+	if !ok {
+		b.Skip("cipher does not batch")
+	}
+	dst := make([]uint64, 256)
+	bulk.EncryptBlocks(dst, 0, 42) // warm the schedule
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bulk.EncryptBlocks(dst, uint64(i), 42)
 	}
 }

@@ -65,6 +65,8 @@ type Table struct {
 	old         []uint64 // previous code book, visible during the fill window
 	contentKey  uint64
 	keysPerWord int
+	words       []uint64    // SRAM-word scratch for the batch fill
+	bulk        cipher.Bulk // non-nil when cfg.Cipher batches (QARMA does)
 
 	seedTweak    uint64 // derived from (ASID, VMID, RAND); no software visibility
 	epoch        uint64 // increments every refresh
@@ -97,8 +99,10 @@ func NewTable(cfg Config) *Table {
 		keys:        make([]uint64, cfg.Entries),
 		old:         make([]uint64, cfg.Entries),
 		keysPerWord: kpw,
+		words:       make([]uint64, (cfg.Entries+kpw-1)/kpw),
 		seedTweak:   rng.Mix64(cfg.Seed ^ 0x1D8AF),
 	}
+	t.bulk, _ = cfg.Cipher.(cipher.Bulk)
 	t.fill()
 	copy(t.old, t.keys)
 	return t
@@ -113,13 +117,23 @@ func (t *Table) Bind(asid, vmid uint16) {
 
 // fill regenerates the code book with the cipher, modeling the Figure 4
 // datapath: the cipher encrypts a sequence of timer readouts under the
-// index seed, and successive ciphertexts fill successive SRAM words.
+// index seed, and successive ciphertexts fill successive SRAM words. The
+// whole refresh runs under the single tweak seed⊕epoch, so the words are
+// produced as one batch when the cipher supports it — the tweak schedule
+// is expanded once instead of once per word.
 func (t *Table) fill() {
 	t.epoch++
 	mask := uint64(1)<<uint(t.cfg.KeyBits) - 1
 	timer := t.refreshStart ^ rng.Mix64(t.epoch^t.seedTweak)
-	for w := 0; w*t.keysPerWord < t.cfg.Entries; w++ {
-		word := t.cfg.Cipher.Encrypt(timer+uint64(w), t.seedTweak^t.epoch)
+	tweak := t.seedTweak ^ t.epoch
+	if t.bulk != nil {
+		t.bulk.EncryptBlocks(t.words, timer, tweak)
+	} else {
+		for w := range t.words {
+			t.words[w] = t.cfg.Cipher.Encrypt(timer+uint64(w), tweak)
+		}
+	}
+	for w, word := range t.words {
 		for k := 0; k < t.keysPerWord; k++ {
 			i := w*t.keysPerWord + k
 			if i >= t.cfg.Entries {
@@ -128,7 +142,7 @@ func (t *Table) fill() {
 			t.keys[i] = (word >> (uint(k) * uint(t.cfg.KeyBits))) & mask
 		}
 	}
-	t.contentKey = t.cfg.Cipher.Encrypt(timer^0xC0FFEE, t.seedTweak^t.epoch)
+	t.contentKey = t.cfg.Cipher.Encrypt(timer^0xC0FFEE, tweak)
 }
 
 // RefreshLatency is the number of cycles a full code-book refresh takes:

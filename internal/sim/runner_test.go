@@ -164,6 +164,46 @@ func TestGoldenDigest(t *testing.T) {
 	}
 }
 
+// goldenDigestSwitchHeavy pins the re-keying path bit-for-bit: 50k-cycle
+// time slices at tiny scale give ≈30 context switches per point, so every
+// point is dominated by codebook refreshes and stale-key windows. Any
+// change to the cipher core, the fill order of the code book, or the
+// refresh timing moves this digest — it catches re-keying regressions at
+// test time instead of only in full sweeps. Update it like goldenDigest:
+// rerun with -run TestGoldenDigestSwitchHeavy -v and copy the value.
+const goldenDigestSwitchHeavy = 0xf51df7079fd71fae
+
+func TestGoldenDigestSwitchHeavy(t *testing.T) {
+	sc := tiny()
+	r := newTestRunner(t, harness.Options{Workers: 4})
+	defer r.Close()
+
+	h := fnv.New64a()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f := func(v float64) { u(math.Float64bits(v)) }
+	const interval = 50_000
+	for _, id := range []MechanismID{MechHyBP, MechFlush} {
+		for _, bench := range []string{"gcc", "deepsjeng"} {
+			tr := r.Single(sc, bench, Mech(id), interval).Get()
+			u(tr.Instructions)
+			u(tr.Cycles)
+			u(tr.DirMispred)
+			u(tr.BTBMisses)
+			u(tr.Switches)
+			u(tr.StaleKeyUses)
+			f(tr.IPC())
+		}
+	}
+	if got := h.Sum64(); got != goldenDigestSwitchHeavy {
+		t.Errorf("switch-heavy golden digest = %#x, want %#x (re-keying output changed bit-for-bit)",
+			got, uint64(goldenDigestSwitchHeavy))
+	}
+}
+
 // TestMechSpecKeys pins the variant knobs into distinct cache identities.
 func TestMechSpecKeys(t *testing.T) {
 	plain := Mech(MechFlush)

@@ -116,6 +116,81 @@ func (f *foldedHistory) reset(h *HistoryBuffer) {
 	// history, which is the only state reset is used with.
 }
 
+// foldSet packs one tagged table's three folds (index width, tag width,
+// tag width − 1) into three 24-bit lanes of a single uint64, so the
+// per-branch fold maintenance — the hottest loop in the simulator — costs
+// one load, one store, and lane-parallel shift/XOR math per table instead
+// of three separate read-modify-writes. The lane arithmetic is exactly
+// foldedHistory.shift per lane (TestFoldSetMatchesFoldedHistory pins the
+// equivalence): all folds share a compLen ≤ 11, so a lane value never
+// exceeds 12 bits after the shift-in and the 24-bit lane spacing keeps the
+// per-lane fold shifts from contaminating a neighbor below its comp mask.
+type foldSet struct {
+	packed   uint64 // lanes at bits 0 (index), 24 (tag), 48 (tag-1)
+	outMask  uint64 // oldBit injection point (1<<outPoint) per lane
+	compMask uint64 // (1<<compLen)-1 per lane
+	origLen  uint16 // shared original history window length
+	cIdx     uint8  // compLen of the index lane
+	cTag0    uint8  // compLen of the tag lane
+	cTag1    uint8  // compLen of the tag-1 lane
+}
+
+// foldLaneBits is the lane spacing; foldLaneLSB has a 1 in each lane's LSB.
+const (
+	foldLaneBits = 24
+	foldLaneLSB  = 1 | 1<<foldLaneBits | 1<<(2*foldLaneBits)
+)
+
+func newFoldSet(origLen, idxBits, tagBits int) foldSet {
+	i := newFolded(origLen, idxBits)
+	t0 := newFolded(origLen, tagBits)
+	t1 := newFolded(origLen, tagBits-1)
+	return foldSet{
+		origLen: uint16(origLen),
+		cIdx:    i.compLen, cTag0: t0.compLen, cTag1: t1.compLen,
+		outMask: 1<<i.outPoint |
+			1<<(foldLaneBits+uint(t0.outPoint)) |
+			1<<(2*foldLaneBits+uint(t1.outPoint)),
+		compMask: (uint64(1)<<i.compLen - 1) |
+			(uint64(1)<<t0.compLen-1)<<foldLaneBits |
+			(uint64(1)<<t1.compLen-1)<<(2*foldLaneBits),
+	}
+}
+
+// shift folds the newest bit in and oldBit out of all three lanes at once.
+// Per lane this is exactly foldedHistory.shift: shift-in, XOR the outgoing
+// bit at outPoint, fold the overflow bit (comp >> compLen, which is a
+// single bit because a lane holds ≤ compLen+1 bits here) back into the
+// LSB, then mask to compLen. Cross-lane garbage from the per-lane fold
+// shifts lands above each comp mask and is cleared by the final AND.
+func (f *foldSet) shift(newBit, oldBit uint64) {
+	p := f.packed<<1 | newBit*foldLaneLSB
+	p ^= (-oldBit) & f.outMask
+	p ^= (p >> f.cIdx) & 1
+	p ^= (p >> f.cTag0) & (1 << foldLaneBits)
+	p ^= (p >> f.cTag1) & (1 << (2 * foldLaneBits))
+	f.packed = p & f.compMask
+}
+
+// reset recomputes all three lanes from the buffer via the reference fold.
+func (f *foldSet) reset(h *HistoryBuffer) {
+	lanes := [3]foldedHistory{
+		newFolded(int(f.origLen), int(f.cIdx)),
+		newFolded(int(f.origLen), int(f.cTag0)),
+		newFolded(int(f.origLen), int(f.cTag1)),
+	}
+	f.packed = 0
+	for i := range lanes {
+		lanes[i].reset(h)
+		f.packed |= uint64(lanes[i].comp) << (foldLaneBits * uint(i))
+	}
+}
+
+// Lane accessors for index computation.
+func (f *foldSet) idxComp() uint64  { return f.packed & (1<<foldLaneBits - 1) }
+func (f *foldSet) tag0Comp() uint64 { return f.packed >> foldLaneBits & (1<<foldLaneBits - 1) }
+func (f *foldSet) tag1Comp() uint64 { return f.packed >> (2 * foldLaneBits) }
+
 // History is the per-hardware-thread speculation history consumed by a Tage
 // instance: the global history register, a path history, and the folded
 // images per tagged table. Each SMT thread owns one History while the
@@ -124,31 +199,28 @@ func (f *foldedHistory) reset(h *HistoryBuffer) {
 type History struct {
 	ghr   *HistoryBuffer
 	path  uint64
-	fIdx  []foldedHistory // per tagged table, folded to index width
-	fTag0 []foldedHistory // per tagged table, folded to tag width
-	fTag1 []foldedHistory // per tagged table, folded to tag width - 1
+	folds []foldSet // per tagged table: index/tag/tag-1 folds, lane-packed
 }
 
 // Update pushes a resolved branch outcome into the history.
 //
 // The newest bit is the outcome just pushed, shared by every fold; the
-// outgoing bit depends only on the window length, which fIdx/fTag0/fTag1
-// of the same table share — so each table costs one buffer read instead of
-// six. This loop is the hottest in the simulator (the folds are two thirds
-// of TAGE time); keep it free of bounds checks and divisions.
+// outgoing bit depends only on the window length, which the three lanes of
+// a table's foldSet share — so each table costs one buffer read and one
+// lane-parallel shift. This loop is the hottest in the simulator (the
+// folds are two thirds of TAGE time); keep it free of bounds checks and
+// divisions.
 func (hs *History) Update(pc uint64, taken bool) {
 	hs.ghr.Push(taken)
 	hs.path = (hs.path << 1) | ((pc >> 2) & 1)
-	var newBit uint32
+	var newBit uint64
 	if taken {
 		newBit = 1
 	}
-	fIdx, fTag0, fTag1 := hs.fIdx, hs.fTag0, hs.fTag1
-	for i := range fIdx {
-		oldBit := uint32(hs.ghr.Bit(int(fIdx[i].origLen)))
-		fIdx[i].shift(newBit, oldBit)
-		fTag0[i].shift(newBit, oldBit)
-		fTag1[i].shift(newBit, oldBit)
+	folds := hs.folds
+	for i := range folds {
+		oldBit := uint64(hs.ghr.Bit(int(folds[i].origLen)))
+		folds[i].shift(newBit, oldBit)
 	}
 }
 
@@ -157,9 +229,7 @@ func (hs *History) Update(pc uint64, taken bool) {
 func (hs *History) Reset() {
 	hs.ghr.Reset()
 	hs.path = 0
-	for i := range hs.fIdx {
-		hs.fIdx[i].reset(hs.ghr)
-		hs.fTag0[i].reset(hs.ghr)
-		hs.fTag1[i].reset(hs.ghr)
+	for i := range hs.folds {
+		hs.folds[i].reset(hs.ghr)
 	}
 }

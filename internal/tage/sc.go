@@ -45,10 +45,10 @@ func newStatCorrector(biasEntries, gEntries int) *statCorrector {
 
 func (sc *statCorrector) gIndex(i int, pc uint64, hs *History) uint64 {
 	ti := sc.gTable[i]
-	if ti >= len(hs.fIdx) {
-		ti = len(hs.fIdx) - 1
+	if ti >= len(hs.folds) {
+		ti = len(hs.folds) - 1
 	}
-	return ((pc >> 1) ^ uint64(hs.fIdx[ti].comp) ^ (pc >> 5)) & uint64(len(sc.g[i])-1)
+	return ((pc >> 1) ^ hs.folds[ti].idxComp() ^ (pc >> 5)) & uint64(len(sc.g[i])-1)
 }
 
 // sum computes the corrector vote, centered so that each counter c

@@ -185,15 +185,10 @@ func (t *Tage) NewHistory() *History {
 	}
 	hs := &History{
 		ghr:   NewHistoryBuffer(maxLen + 64),
-		fIdx:  make([]foldedHistory, len(t.cfg.Tables)),
-		fTag0: make([]foldedHistory, len(t.cfg.Tables)),
-		fTag1: make([]foldedHistory, len(t.cfg.Tables)),
+		folds: make([]foldSet, len(t.cfg.Tables)),
 	}
 	for i, s := range t.cfg.Tables {
-		idxBits := bitsFor(s.Entries)
-		hs.fIdx[i] = newFolded(s.HistLen, idxBits)
-		hs.fTag0[i] = newFolded(s.HistLen, s.TagBits)
-		hs.fTag1[i] = newFolded(s.HistLen, s.TagBits-1)
+		hs.folds[i] = newFoldSet(s.HistLen, bitsFor(s.Entries), s.TagBits)
 	}
 	return hs
 }
@@ -230,9 +225,10 @@ func (t *Tage) ResetStats() { t.stats = Stats{} }
 // index computes the effective (index, tag) of pc in tagged table ti under
 // history hs, applying the injected transform.
 func (t *Tage) index(ti int, pc uint64, hs *History) (uint64, uint64) {
-	idx := (pc >> 1) ^ (pc >> uint(1+ti)) ^ uint64(hs.fIdx[ti].comp) ^ (hs.path & 0x3F)
+	f := &hs.folds[ti]
+	idx := (pc >> 1) ^ (pc >> uint(1+ti)) ^ f.idxComp() ^ (hs.path & 0x3F)
 	idx &= t.masks[ti]
-	tag := ((pc >> 1) ^ uint64(hs.fTag0[ti].comp) ^ (uint64(hs.fTag1[ti].comp) << 1)) &
+	tag := ((pc >> 1) ^ f.tag0Comp() ^ (f.tag1Comp() << 1)) &
 		t.tagMasks[ti]
 	if t.xform != nil {
 		idx, tag = t.xform(ti, pc, idx, tag)

@@ -52,6 +52,56 @@ func TestFoldedHistoryMatchesRecompute(t *testing.T) {
 	}
 }
 
+func TestFoldSetMatchesFoldedHistory(t *testing.T) {
+	// The lane-packed foldSet must evolve exactly like three independent
+	// reference folds sharing a window, across arbitrary outcome streams
+	// and the paper geometry's extreme widths (compLen 7..11, index width
+	// 10, including the tag-1 lane).
+	for _, g := range []struct{ histLen, idxBits, tagBits int }{
+		{23, 9, 8},
+		{640, 10, 11},
+		{5, 10, 8},
+		{130, 10, 11},
+	} {
+		h := NewHistoryBuffer(g.histLen + 64)
+		fs := newFoldSet(g.histLen, g.idxBits, g.tagBits)
+		refs := [3]foldedHistory{
+			newFolded(g.histLen, g.idxBits),
+			newFolded(g.histLen, g.tagBits),
+			newFolded(g.histLen, g.tagBits-1),
+		}
+		r := rng.New(uint64(g.histLen))
+		for step := 0; step < 3000; step++ {
+			h.Push(r.Bool(0.5))
+			var newBit uint64
+			if h.Bit(0) == 1 {
+				newBit = 1
+			}
+			oldBit := uint64(h.Bit(g.histLen))
+			fs.shift(newBit, oldBit)
+			for i := range refs {
+				refs[i].shift(uint32(newBit), uint32(oldBit))
+			}
+			if fs.idxComp() != uint64(refs[0].comp) ||
+				fs.tag0Comp() != uint64(refs[1].comp) ||
+				fs.tag1Comp() != uint64(refs[2].comp) {
+				t.Fatalf("geom %+v step %d: foldSet lanes (%#x,%#x,%#x) != refs (%#x,%#x,%#x)",
+					g, step, fs.idxComp(), fs.tag0Comp(), fs.tag1Comp(),
+					refs[0].comp, refs[1].comp, refs[2].comp)
+			}
+		}
+		// reset must agree with the incremental state on a cleared buffer.
+		h.Reset()
+		fs.reset(h)
+		for i := range refs {
+			refs[i].reset(h)
+		}
+		if fs.idxComp() != uint64(refs[0].comp) || fs.tag0Comp() != uint64(refs[1].comp) {
+			t.Fatalf("geom %+v: reset diverged", g)
+		}
+	}
+}
+
 func TestBimodalLearnsBias(t *testing.T) {
 	b := NewBimodal(1024)
 	pc := uint64(0x400)
