@@ -8,7 +8,7 @@ BASELINE_COLD ?= 257.6
 BASELINE_STEP ?= 835
 BASELINE_NOTE ?= PR-7 main (pre table-driven QARMA), hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke profile record serve loadtest chaos chaossmoke cluster-smoke trace-smoke
+.PHONY: ci vet build test race bench benchsmoke profile record serve loadtest chaos chaossmoke cluster-smoke trace-smoke journal-smoke
 
 # ci is the full gate: static checks, build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
@@ -16,9 +16,11 @@ BASELINE_NOTE ?= PR-7 main (pre table-driven QARMA), hybpexp -scale quick -seed 
 # perf-tracking layer can't rot unnoticed, a short chaos run so the
 # self-healing path can't either, a cluster smoke (coordinator, two
 # worker processes, one killed mid-sweep) so distributed runs stay
-# bit-identical to local ones, and a trace smoke so -tracefile keeps
-# producing loadable Chrome trace JSON.
-ci: vet build test race benchsmoke chaossmoke cluster-smoke trace-smoke
+# bit-identical to local ones, a trace smoke so -tracefile keeps
+# producing loadable Chrome trace JSON, and a journal smoke (hybpd
+# SIGKILLed mid-sweep, restarted on the same -journal) so crash recovery
+# keeps losing nothing.
+ci: vet build test race benchsmoke chaossmoke cluster-smoke trace-smoke journal-smoke
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +42,7 @@ race:
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -race ./internal/harness/...
+	$(GO) test -race ./internal/journal/...
 	$(GO) test -race -short ./internal/sim/...
 	$(GO) test -race -short ./internal/cluster/...
 	$(GO) test -race ./internal/server/...
@@ -52,13 +55,20 @@ race:
 # coordinator reassigns its leases and still matches local -j 1 output.
 # chaossmoke/cluster-smoke are the three-experiment subsets ci runs.
 chaos:
-	HYBP_CHAOS=full HYBP_CLUSTER=full $(GO) test ./internal/chaos/ -v -count=1 -timeout 30m
+	HYBP_CHAOS=full HYBP_CLUSTER=full HYBP_JOURNAL=full $(GO) test ./internal/chaos/ -v -count=1 -timeout 30m
 
 chaossmoke:
 	HYBP_CHAOS=smoke $(GO) test ./internal/chaos/ -run TestChaos -count=1 -timeout 10m
 
 cluster-smoke:
 	HYBP_CLUSTER=smoke $(GO) test ./internal/chaos/ -run TestClusterChaos -count=1 -timeout 10m
+
+# journal-smoke is the crash-recovery gate: a real hybpd with -journal is
+# SIGKILLed mid-sweep and restarted on the same directories; results must
+# be byte-identical to an uninterrupted baseline, followed SSE streams must
+# resume dense via Last-Event-ID, and the client must never resubmit.
+journal-smoke:
+	HYBP_JOURNAL=smoke $(GO) test ./internal/chaos/ -run TestJournalCrashRecovery -count=1 -timeout 10m
 
 # trace-smoke runs a real hybpexp tiny sweep with -tracefile and validates
 # the emitted Chrome trace-event JSON (structure + expected span names).

@@ -21,9 +21,17 @@
 // /v1/work/{key}/result, GET /v1/cluster — and execute remotely when
 // workers are registered, in-process otherwise.
 //
-// SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
-// in-flight jobs run to completion (up to -drain), then the listener
-// closes.
+// With -journal DIR every job state transition and SSE event is durably
+// journaled (fsynced) before it is acknowledged or streamed. A restart on
+// the same directory — graceful or kill -9 — replays the log: finished
+// jobs return their results without re-executing, interrupted jobs
+// resume, and SSE clients reconnect with Last-Event-ID across the
+// restart.
+//
+// SIGINT/SIGTERM starts a graceful drain: admissions stop, in-flight jobs
+// run to completion (up to -drain), then the listener closes. With
+// -journal, still-queued jobs are left durable for the next boot instead
+// of holding up shutdown.
 //
 // Example:
 //
@@ -35,11 +43,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -58,6 +68,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		cacheDir  = flag.String("cachedir", "", "on-disk result cache directory (shared with hybpexp -cachedir)")
+		journal   = flag.String("journal", "", "durable job journal directory: every state transition and SSE event is fsynced before it is acknowledged, and a restart (even after kill -9) replays it — terminal jobs come back with results, interrupted ones re-run, SSE streams resume via Last-Event-ID")
+		jnSegMax  = flag.Int64("journalsegbytes", 0, "journal segment rotation threshold in bytes (0 = 4 MiB)")
 		jobs      = flag.Int("j", runtime.NumCPU(), "parallel simulation workers")
 		workers   = flag.Int("workers", 0, "concurrent jobs (default max(2, NumCPU))")
 		queue     = flag.Int("queue", 64, "admission queue capacity; overflow answers 429 + Retry-After")
@@ -100,21 +112,27 @@ func main() {
 		})
 	}
 	s, err := server.New(server.Config{
-		QueueSize:        *queue,
-		Workers:          *workers,
-		HarnessWorkers:   *jobs,
-		CacheDir:         *cacheDir,
-		JobTimeout:       *jobTO,
-		ProgressInterval: *progress,
-		SSEHeartbeat:     *sseHB,
-		ShedThreshold:    *shed,
-		Faults:           inj,
-		Coordinator:      coord,
-		Log:              jobLog,
-		Tracer:           tracer,
+		QueueSize:           *queue,
+		Workers:             *workers,
+		HarnessWorkers:      *jobs,
+		CacheDir:            *cacheDir,
+		JournalDir:          *journal,
+		JournalSegmentBytes: *jnSegMax,
+		JobTimeout:          *jobTO,
+		ProgressInterval:    *progress,
+		SSEHeartbeat:        *sseHB,
+		ShedThreshold:       *shed,
+		Faults:              inj,
+		Coordinator:         coord,
+		Log:                 jobLog,
+		Tracer:              tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
+		var ce *server.ConfigError
+		if errors.As(err, &ce) {
+			os.Exit(2) // flag/config error, not a runtime failure
+		}
 		os.Exit(1)
 	}
 	// Publish the metrics snapshot into the process-global expvar registry
@@ -174,9 +192,17 @@ func main() {
 	if *clusterOn {
 		mode = fmt.Sprintf("coordinator (lease %s)", *leaseTTL)
 	}
-	logger.Info("listening", "addr", *addr, "queue", *queue, "simworkers", *jobs,
-		"cachedir", *cacheDir, "mode", mode)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	// Listen explicitly so the resolved address (port 0 included) can be
+	// logged before serving — restart tooling and the journal smoke test
+	// grep for this line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Info("listening", "addr", ln.Addr().String(), "queue", *queue, "simworkers", *jobs,
+		"cachedir", *cacheDir, "journal", *journal, "mode", mode)
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "hybpd: %v\n", err)
 		os.Exit(1)
 	}

@@ -38,16 +38,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "hybpd base URL")
-		clients  = flag.Int("clients", 8, "concurrent closed-loop clients")
-		n        = flag.Int("n", 64, "total jobs to submit")
-		poolB    = flag.Int("poolbench", 6, "distinct benchmarks in the job pool")
-		cycles   = flag.Uint64("cycles", 1_200_000, "per-job simulated cycles (small: this measures the service, not the sims)")
-		warmup   = flag.Uint64("warmup", 200_000, "per-job warmup cycles")
-		interval = flag.Uint64("interval", 400_000, "context-switch interval")
-		seed     = flag.Uint64("seed", 2022, "simulation seed")
-		expEvery = flag.Int("exp-every", 0, "make every Nth job a quick experiment job (0 = sims only)")
-		expNames = flag.String("experiments", "cost,table3", "comma-separated experiment names -exp-every draws from")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "hybpd base URL")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop clients")
+		n         = flag.Int("n", 64, "total jobs to submit")
+		poolB     = flag.Int("poolbench", 6, "distinct benchmarks in the job pool")
+		cycles    = flag.Uint64("cycles", 1_200_000, "per-job simulated cycles (small: this measures the service, not the sims)")
+		warmup    = flag.Uint64("warmup", 200_000, "per-job warmup cycles")
+		interval  = flag.Uint64("interval", 400_000, "context-switch interval")
+		seed      = flag.Uint64("seed", 2022, "simulation seed")
+		expEvery  = flag.Int("exp-every", 0, "make every Nth job a quick experiment job (0 = sims only)")
+		expNames  = flag.String("experiments", "cost,table3", "comma-separated experiment names -exp-every draws from")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "overall deadline")
 		retries   = flag.Int("retries", 8, "per-call retry bound for 429/5xx/transport failures")
 		traceFile = flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the client side of the run to this file (submits, waits; server spans land in hybpd's /debug/trace on the same trace ids)")
@@ -92,7 +92,8 @@ func main() {
 		mu        sync.Mutex
 		latencies []time.Duration
 		errs      []string
-		errClass  = map[string]int{} // Classify bucket → terminal-failure count (under mu)
+		errClass  = map[string]int{}    // Classify bucket → terminal-failure count (under mu)
+		results   = map[string][]byte{} // job id → final result bytes (under mu)
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -130,6 +131,7 @@ func main() {
 				}
 				mu.Lock()
 				latencies = append(latencies, lat)
+				results[ji.ID] = ji.Result
 				mu.Unlock()
 			}
 		}()
@@ -197,6 +199,35 @@ func main() {
 	if sd.PanicsRecovered-before.Server.PanicsRecovered > 0 || sd.JobsShed-before.Server.JobsShed > 0 {
 		fmt.Printf("server healing this run: %d panics recovered, %d experiment jobs shed under load\n",
 			sd.PanicsRecovered-before.Server.PanicsRecovered, sd.JobsShed-before.Server.JobsShed)
+	}
+	// The results digest hashes every distinct job's final result bytes in
+	// job-id order — two runs against equivalent state (warm cache, journal
+	// recovery, a restarted daemon) must print the same line, making
+	// bit-identical-across-restart checkable with grep and diff.
+	if len(results) > 0 {
+		ids := make([]string, 0, len(results))
+		for id := range results {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var blob []byte
+		for _, id := range ids {
+			blob = append(blob, id...)
+			blob = append(blob, results[id]...)
+		}
+		fmt.Printf("results digest: %s over %d distinct jobs\n", harness.Checksum(blob), len(ids))
+	}
+	if jd := after.Journal; jd != nil {
+		fmt.Printf("journal: %d records appended, %d fsyncs, %d segments on disk (%d compacted away), %d append errors\n",
+			jd.Appended, jd.Fsyncs, jd.Segments, jd.Compacted, jd.AppendErrors)
+		if rec := jd.Recovery; rec.Epoch > 0 {
+			verdict := "all state survived the restart"
+			if rec.Dropped > 0 {
+				verdict = fmt.Sprintf("%d jobs lost their request and need client resubmission", rec.Dropped)
+			}
+			fmt.Printf("restart survival: epoch %d — %d jobs recovered (%d results intact, %d resumed); %s\n",
+				rec.Epoch, rec.RecoveredJobs, rec.RestoredTerminal, rec.Resumed, verdict)
+		}
 	}
 	// Simulator-side speed, distinct from request throughput: a dedup- or
 	// cache-served run can post high jobs/s while simulating nothing.

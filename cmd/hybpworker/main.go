@@ -8,8 +8,10 @@
 // local run.
 //
 // A worker that dies simply stops heartbeating: the coordinator expires
-// its leases and hands the items to the next worker. SIGINT/SIGTERM
-// deregisters cleanly, returning in-flight leases immediately.
+// its leases and hands the items to the next worker. The first
+// SIGINT/SIGTERM drains gracefully — no new leases, in-flight points
+// finish and upload, then the worker deregisters; a second signal aborts
+// immediately, abandoning leases to expiry and reassignment.
 //
 // Example:
 //
@@ -94,8 +96,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	// Two-stage shutdown: the first SIGTERM/SIGINT drains — stop leasing,
+	// finish and upload the in-flight batch, deregister. A second signal
+	// hard-cancels, abandoning leases to coordinator expiry/reassignment.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Info("draining: finishing in-flight work (signal again to abort)", "signal", sig.String())
+		w.Drain()
+		sig = <-sigCh
+		logger.Info("hard stop: abandoning leases to reassignment", "signal", sig.String())
+		cancel()
+	}()
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "hybpworker: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,286 @@
+// Journal chaos: the crash-recovery gate. A real hybpd runs with -journal,
+// a client submits a sweep and follows every SSE stream, and the daemon is
+// killed with SIGKILL mid-flight — no drain, no warning. A second hybpd on
+// the same -journal/-cachedir must come back remembering everything:
+// finished jobs answer with byte-identical results (checked against an
+// uninterrupted baseline run), interrupted jobs resume and complete, the
+// followed SSE streams reconnect via Last-Event-ID into one dense gapless
+// sequence per job, and the client never resubmits a single job. Opt-in
+// via HYBP_JOURNAL (same reasoning as HYBP_CHAOS):
+//
+//	HYBP_JOURNAL=smoke  6 jobs   (make ci / make journal-smoke)
+//	HYBP_JOURNAL=full   12 jobs at 3x the cycles
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hybp/internal/server"
+	"hybp/internal/server/client"
+	"hybp/internal/sim"
+	"hybp/internal/workload"
+)
+
+func journalParams(t *testing.T) (njobs int, cycles uint64) {
+	switch os.Getenv("HYBP_JOURNAL") {
+	case "smoke":
+		return 6, 6_000_000
+	case "full", "1":
+		return 12, 18_000_000
+	}
+	t.Skip("set HYBP_JOURNAL=smoke|full to run the journal crash-recovery gate (make journal-smoke)")
+	return 0, 0
+}
+
+func buildHybpd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hybpd")
+	out, err := exec.Command("go", "build", "-o", bin, "hybp/cmd/hybpd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build hybpd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// pickAddr reserves a concrete host:port so a restarted daemon can listen
+// on the same address the killed one used (clients must be able to
+// reconnect blindly).
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startHybpd launches the daemon and waits until /readyz answers.
+func startHybpd(t *testing.T, bin, addr string, extra ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", addr, "-quiet"}, extra...)...)
+	cmd.Stderr = &bytes.Buffer{}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	c := client.New("http://" + addr)
+	c.MaxRetries = 2
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := c.Ready(ctx)
+		cancel()
+		if err == nil {
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			stderr := cmd.Stderr.(*bytes.Buffer).String()
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("hybpd at %s never became ready: %v\nstderr:\n%s", addr, err, stderr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func journalPool(n int, cycles uint64) []server.JobRequest {
+	benches := workload.FigureApps()
+	mechs := []sim.MechanismID{sim.MechHyBP, sim.MechFlush, sim.MechPartition, sim.MechReplication}
+	reqs := make([]server.JobRequest, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, server.JobRequest{Sim: &server.SimRequest{
+			Bench:    benches[i%len(benches)],
+			Mech:     string(mechs[i%len(mechs)]),
+			Cycles:   cycles,
+			Warmup:   cycles / 10,
+			Interval: cycles / 4,
+			Seed:     2022,
+		}})
+	}
+	return reqs
+}
+
+// TestJournalCrashRecovery is the capstone: SIGKILL mid-sweep, restart on
+// the same journal, and nothing is lost.
+func TestJournalCrashRecovery(t *testing.T) {
+	njobs, cycles := journalParams(t)
+	hybpd := buildHybpd(t)
+	reqs := journalPool(njobs, cycles)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Phase A: uninterrupted baseline on its own daemon — the ground-truth
+	// result bytes per content-addressed job id.
+	baseAddr := pickAddr(t)
+	baseCmd := startHybpd(t, hybpd, baseAddr, "-workers", "2")
+	baseC := client.New("http://" + baseAddr)
+	want := make(map[string][]byte)
+	for _, req := range reqs {
+		ji, err := baseC.Run(ctx, req)
+		if err != nil || ji.Status != server.StatusDone {
+			t.Fatalf("baseline run: %v (status %s, err %q)", err, ji.Status, ji.Error)
+		}
+		want[ji.ID] = append([]byte(nil), ji.Result...)
+	}
+	baseCmd.Process.Signal(os.Interrupt)
+	waitExit(t, "baseline hybpd", baseCmd, time.Minute)
+
+	// Phase B: the journaled daemon, killed mid-sweep.
+	addr := pickAddr(t)
+	dir := t.TempDir()
+	journalDir := filepath.Join(dir, "journal")
+	cacheDir := filepath.Join(dir, "cache")
+	args := []string{"-workers", "2", "-journal", journalDir, "-cachedir", cacheDir, "-progressinterval", "100ms"}
+	victim := startHybpd(t, hybpd, addr, args...)
+
+	c := client.New("http://" + addr)
+	c.MaxRetries = 30 // must ride out the kill→restart gap
+	c.Counters = &client.Counters{}
+	var ids []string
+	for _, req := range reqs {
+		ji, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ids = append(ids, ji.ID)
+	}
+
+	// Follow every job's SSE stream; the followers must survive the kill.
+	var (
+		mu     sync.Mutex
+		seqs   = make(map[string][]int)
+		epochs = make(map[string]int)
+		finals = make(map[string]server.JobInfo)
+		fails  []string
+	)
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			fi, err := c.Follow(ctx, id, -1, func(ev server.Event) bool {
+				mu.Lock()
+				seqs[id] = append(seqs[id], ev.Seq)
+				if ev.Epoch > epochs[id] {
+					epochs[id] = ev.Epoch
+				}
+				mu.Unlock()
+				return true
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fails = append(fails, fmt.Sprintf("%s: %v", id, err))
+				return
+			}
+			finals[id] = fi
+		}(id)
+	}
+
+	// Kill once at least two jobs have finished but before the sweep is
+	// done, so recovery sees terminal, running, and queued jobs at once.
+	countDone := func() int {
+		n := 0
+		for _, id := range ids {
+			gctx, gcancel := context.WithTimeout(ctx, 5*time.Second)
+			ji, err := c.Get(gctx, id)
+			gcancel()
+			if err == nil && ji.Terminal() {
+				n++
+			}
+		}
+		return n
+	}
+	killDeadline := time.Now().Add(5 * time.Minute)
+	doneAtKill := 0
+	for {
+		doneAtKill = countDone()
+		if doneAtKill >= 2 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("only %d jobs finished before the kill deadline", doneAtKill)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if doneAtKill == len(ids) {
+		t.Fatalf("all %d jobs finished before the kill — raise cycles so the sweep outlives the trigger", len(ids))
+	}
+	victim.Process.Kill() // SIGKILL: no drain, no journal close, nothing
+	victim.Wait()
+	t.Logf("killed hybpd with %d/%d jobs done", doneAtKill, len(ids))
+
+	// Restart on the same address, journal, and cache.
+	restarted := startHybpd(t, hybpd, addr, args...)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fails) > 0 {
+		t.Fatalf("followers failed across the restart: %v", fails)
+	}
+
+	// 1. Every job finished, byte-identical to the uninterrupted baseline.
+	for _, id := range ids {
+		fi, ok := finals[id]
+		if !ok || fi.Status != server.StatusDone {
+			t.Fatalf("job %s after restart: %+v", id, fi)
+		}
+		if !bytes.Equal(fi.Result, want[id]) {
+			t.Errorf("job %s result differs from baseline:\nbaseline: %s\nrecovered: %s", id, want[id], fi.Result)
+		}
+	}
+	// 2. Each followed stream is one dense seq run — nothing lost, nothing
+	// duplicated, across the SIGKILL.
+	resumedStreams := 0
+	for _, id := range ids {
+		for i, seq := range seqs[id] {
+			if seq != i {
+				t.Fatalf("job %s stream not dense at %d: %v", id, i, seqs[id])
+			}
+		}
+		if epochs[id] > 0 {
+			resumedStreams++
+		}
+	}
+	if resumedStreams == 0 {
+		t.Error("no stream carried post-restart (epoch > 0) events — the kill never interrupted a followed job")
+	}
+
+	// 3. The restarted daemon recovered from the journal and the client
+	// never had to resubmit anything.
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if after.Server.JobsSubmitted != 0 {
+		t.Errorf("restarted daemon saw %d submissions, want 0 (recovery must not depend on client resubmission)", after.Server.JobsSubmitted)
+	}
+	if after.Journal == nil {
+		t.Fatal("restarted daemon reports no journal section")
+	}
+	rec := after.Journal.Recovery
+	if rec.Epoch < 1 || rec.RecoveredJobs == 0 || rec.Resumed == 0 {
+		t.Errorf("recovery = %+v, want epoch >= 1 with resumed jobs", rec)
+	}
+	t.Logf("recovery: %+v; journal: %d appended, %d fsyncs, %d segments",
+		rec, after.Journal.Appended, after.Journal.Fsyncs, after.Journal.Segments)
+
+	restarted.Process.Signal(os.Interrupt)
+	waitExit(t, "restarted hybpd", restarted, time.Minute)
+}

@@ -348,3 +348,63 @@ func TestWorkerRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkerDrainFinishesInFlight(t *testing.T) {
+	c, srv := newTestCoord(t, Options{LeaseTTL: 5 * time.Second, MinWorkers: 1, MinWorkersWait: 10 * time.Second})
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	w, err := NewWorker(WorkerOptions{
+		Coordinator: srv.URL,
+		Name:        "drainer",
+		Jobs:        2,
+		Exec: func(key string, spec json.RawMessage) (json.RawMessage, error) {
+			started <- struct{}{}
+			<-release
+			return json.Marshal(map[string]string{"echo": key})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(ctx) }()
+
+	r0 := execAsync(c, "drain-0")
+	r1 := execAsync(c, "drain-1")
+	<-started
+	<-started
+
+	// Drain while both items are mid-execution: the worker must finish and
+	// upload them, then deregister — without the context being canceled.
+	w.Drain()
+	close(release)
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatalf("drained Run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit after drain")
+	}
+	for i, ch := range []<-chan execResult{r0, r1} {
+		select {
+		case res := <-ch:
+			want := fmt.Sprintf(`{"echo":"drain-%d"}`, i)
+			if !res.ok || res.err != nil || string(res.raw) != want {
+				t.Fatalf("drain-%d: Execute = (%s, %v, %v), want upload before drain exit", i, res.raw, res.ok, res.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("drain-%d result lost by drain", i)
+		}
+	}
+	for _, wc := range c.Metrics().Workers {
+		if wc.Live {
+			t.Fatalf("worker still live after drain: %+v", wc)
+		}
+	}
+	if got := c.Metrics().Totals.Expired; got != 0 {
+		t.Fatalf("drain let %d leases expire, want 0", got)
+	}
+}

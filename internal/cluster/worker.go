@@ -70,6 +70,9 @@ type Worker struct {
 	statsMu     sync.Mutex
 	leasedItems uint64
 	uploaded    uint64
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
 }
 
 // NewWorker builds a Worker and its private harness.
@@ -105,7 +108,25 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.Faults != nil {
 		hc.Transport = &faults.Transport{Inj: opts.Faults}
 	}
-	return &Worker{opts: opts, h: h, hc: hc}, nil
+	return &Worker{opts: opts, h: h, hc: hc, drainCh: make(chan struct{})}, nil
+}
+
+// Drain makes Run stop leasing new work: any in-flight lease long-poll is
+// cut short, the current batch finishes executing and uploads its results
+// normally, then Run deregisters and returns nil. Idempotent and safe from
+// any goroutine — cmd/hybpworker calls it on the first SIGTERM so a
+// rolling restart never abandons half-computed points to lease expiry.
+func (w *Worker) Drain() {
+	w.drainOnce.Do(func() { close(w.drainCh) })
+}
+
+func (w *Worker) draining() bool {
+	select {
+	case <-w.drainCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // Stats snapshots the worker harness's counters — Executed there is what
@@ -126,14 +147,33 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.opts.Logf("hybpworker: registered as %s at %s (lease %v, heartbeat %v)",
 		w.id, w.opts.Coordinator, w.leaseTTL, w.beatEvery)
 	defer w.deregister()
+	// leaseCtx dies on Drain as well as ctx, so a drain cuts the lease
+	// long-poll short; execution and upload keep the parent ctx — in-flight
+	// work must still finish and land during a drain.
+	leaseCtx, cancelLease := context.WithCancel(ctx)
+	defer cancelLease()
+	go func() {
+		select {
+		case <-w.drainCh:
+			cancelLease()
+		case <-leaseCtx.Done():
+		}
+	}()
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		resp, err := w.lease(ctx)
+		if w.draining() {
+			w.opts.Logf("hybpworker: drained — in-flight work done, deregistering")
+			return nil
+		}
+		resp, err := w.lease(leaseCtx)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil
+			}
+			if w.draining() {
+				continue // loop top deregisters
 			}
 			var se *statusError
 			if errors.As(err, &se) && se.status == http.StatusNotFound {

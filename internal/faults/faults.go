@@ -49,10 +49,12 @@ const (
 	OpConn
 	// OpStream is one SSE event-loop iteration (server).
 	OpStream
+	// OpJournal is one write-ahead-log record append (journal).
+	OpJournal
 	numOps
 )
 
-var opNames = [numOps]string{"cache-read", "cache-write", "exec", "conn", "stream"}
+var opNames = [numOps]string{"cache-read", "cache-write", "exec", "conn", "stream", "journal"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -124,6 +126,13 @@ type Config struct {
 	// StreamDrop cuts a live SSE stream.
 	ConnDrop   float64
 	StreamDrop float64
+
+	// JournalCorrupt flips bytes inside a journal record's payload (the
+	// checksum stays the pre-damage one, so replay quarantines the tail);
+	// JournalTorn cuts a record's frame short mid-write, simulating a crash
+	// between write and fsync (replay truncates it silently).
+	JournalCorrupt float64
+	JournalTorn    float64
 
 	// SlowMax bounds injected delays (default 5ms).
 	SlowMax time.Duration
@@ -273,6 +282,8 @@ func (in *Injector) pick(op Op, u float64) Kind {
 		slots = []slot{{in.cfg.ConnDrop, Drop}}
 	case OpStream:
 		slots = []slot{{in.cfg.StreamDrop, Drop}}
+	case OpJournal:
+		slots = []slot{{in.cfg.JournalCorrupt, Corrupt}, {in.cfg.JournalTorn, Torn}}
 	}
 	cum := 0.0
 	for _, s := range slots {
@@ -332,7 +343,8 @@ func (in *Injector) NoteExec() {
 //
 //	seed=7,exec.panic=0.1,exec.err=0.15,exec.slow=0.05,
 //	cache.readerr=0.05,cache.corrupt=0.3,cache.torn=0.1,cache.writeerr=0.05,
-//	conn.drop=0.2,stream.drop=0.2,maxconsec=2,slowmax=5ms,crashafter=20
+//	conn.drop=0.2,stream.drop=0.2,journal.corrupt=0.1,journal.torn=0.1,
+//	maxconsec=2,slowmax=5ms,crashafter=20
 //
 // Unknown fields are errors; an empty spec returns a nil (no-op) injector.
 func Parse(spec string) (*Injector, error) {
@@ -374,6 +386,10 @@ func Parse(spec string) (*Injector, error) {
 			cfg.ConnDrop, err = parseRate(v)
 		case "stream.drop":
 			cfg.StreamDrop, err = parseRate(v)
+		case "journal.corrupt":
+			cfg.JournalCorrupt, err = parseRate(v)
+		case "journal.torn":
+			cfg.JournalTorn, err = parseRate(v)
 		case "slowmax":
 			cfg.SlowMax, err = time.ParseDuration(v)
 		case "maxconsec":
@@ -405,7 +421,8 @@ func specFields() []string {
 	fs := []string{
 		"seed", "exec.panic", "exec.err", "exec.slow",
 		"cache.readerr", "cache.corrupt", "cache.torn", "cache.writeerr",
-		"conn.drop", "stream.drop", "slowmax", "maxconsec", "crashafter",
+		"conn.drop", "stream.drop", "journal.corrupt", "journal.torn",
+		"slowmax", "maxconsec", "crashafter",
 	}
 	sort.Strings(fs)
 	return fs

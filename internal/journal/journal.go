@@ -1,0 +1,502 @@
+// Package journal is a crash-safe write-ahead log for the hybpd job
+// registry. It stores opaque payload records in append-only segment files
+// and guarantees that a record whose Append returned nil survives a hard
+// process kill (SIGKILL, OOM, power loss short of disk lies): every append
+// is fsynced before it is acknowledged, with concurrent appends sharing
+// one fsync (group commit) so the per-record cost amortizes under load.
+//
+// On-disk layout: dir/wal-00000001.seg, wal-00000002.seg, ... Each record
+// is framed as
+//
+//	[4B little-endian payload length][8B little-endian FNV-1a of payload][payload]
+//
+// A segment is sealed when it reaches MaxSegmentBytes (or on explicit
+// Rotate) and a fresh one becomes active; Open always starts a new active
+// segment, so sealed files are never appended to again.
+//
+// Open replays the surviving records and repairs damage conservatively:
+// a record cut short at a segment's end (a crash between write and fsync)
+// is silently truncated away; a record whose checksum mismatches has the
+// segment's remaining bytes quarantined to a ".bad" file beside it — the
+// framing after a corrupt record cannot be trusted, so the rest of that
+// segment is dropped, but later segments still replay. Both repairs
+// truncate the segment file, so a second Open of the same dir is
+// idempotent.
+//
+// The journal knows nothing about record contents; compaction is driven
+// by the owner through Rotate and DropSealedBelow: rotate, re-append a
+// full-state checkpoint (durable), then drop the sealed segments the
+// checkpoint supersedes. A crash at any point in that sequence leaves
+// either the old segments or the completed checkpoint (or both) on disk —
+// never neither — provided the owner's replay tolerates duplicate records.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hybp/internal/faults"
+	"hybp/internal/obs"
+)
+
+const (
+	frameHeader = 12
+	// maxRecord bounds one record's payload; a length prefix above it is
+	// treated as corruption, not an allocation request.
+	maxRecord = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Options tune a journal. The zero value is production-ready.
+type Options struct {
+	// MaxSegmentBytes is the rotation threshold (default 4 MiB).
+	MaxSegmentBytes int64
+	// NoSync skips fsync entirely — tests and throwaway runs only.
+	NoSync bool
+	// Faults optionally injects journal.corrupt / journal.torn damage into
+	// appended records (nil in production). A damaged record is sealed into
+	// its own segment tail so replay loses exactly that record, mirroring a
+	// crash mid-write.
+	Faults *faults.Injector
+	// FsyncHist, when non-nil, observes each fsync's latency in
+	// milliseconds.
+	FsyncHist *obs.Histogram
+}
+
+// Stats is a point-in-time snapshot of journal counters.
+type Stats struct {
+	Dir         string `json:"dir"`
+	Segments    int    `json:"segments"` // sealed + active
+	ActiveBytes int64  `json:"active_bytes"`
+	Appended    uint64 `json:"appended"`
+	Replayed    uint64 `json:"replayed"`
+	Torn        uint64 `json:"torn"`        // records truncated at open
+	Quarantined uint64 `json:"quarantined"` // segment tails moved to .bad
+	Fsyncs      uint64 `json:"fsyncs"`
+	Dropped     uint64 `json:"dropped_segments"` // segments removed by compaction
+}
+
+// Journal is an open write-ahead log. All methods are safe for concurrent
+// use; read-only methods are additionally safe on a nil receiver.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	seq      int      // active segment number
+	size     int64    // active segment bytes
+	sealed   []int    // sealed segment numbers, ascending
+	closed   bool
+	writeGen uint64 // bumped per record written
+	synced   uint64 // writeGen known durable
+
+	// syncMu serializes fsyncs; appenders that arrive while a sync is in
+	// flight queue behind it and are covered by the next one (group
+	// commit).
+	syncMu sync.Mutex
+
+	replay [][]byte // payloads recovered at Open, consumed by Replay
+
+	appended    uint64
+	replayed    uint64
+	torn        uint64
+	quarantined uint64
+	fsyncs      uint64
+	dropped     uint64
+}
+
+// Open opens (creating if needed) the journal in dir, repairs torn or
+// corrupt tails, loads surviving records for Replay, and starts a fresh
+// active segment.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &n); err == nil && e.Name() == segName(n) {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	for _, s := range seqs {
+		recs, err := j.scanSegment(j.segPath(s))
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			// Nothing survived (empty file or fully-damaged tail already
+			// truncated away): drop the husk instead of tracking it.
+			if err := os.Remove(j.segPath(s)); err == nil {
+				continue
+			}
+		}
+		j.replay = append(j.replay, recs...)
+		j.sealed = append(j.sealed, s)
+	}
+	j.replayed = uint64(len(j.replay))
+	j.seq = 1
+	if n := len(seqs); n > 0 {
+		j.seq = seqs[n-1] + 1
+	}
+	if err := j.openActiveLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("wal-%08d.seg", seq) }
+
+func (j *Journal) segPath(seq int) string { return filepath.Join(j.dir, segName(seq)) }
+
+// scanSegment validates one segment, truncating a torn tail and
+// quarantining a corrupt one, and returns the surviving payloads.
+func (j *Journal) scanSegment(path string) ([][]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var recs [][]byte
+	off := 0
+	for off < len(b) {
+		if len(b)-off < frameHeader {
+			return recs, j.truncateTorn(path, off)
+		}
+		n := int(binary.LittleEndian.Uint32(b[off:]))
+		if n > maxRecord {
+			return recs, j.quarantineTail(path, b, off)
+		}
+		if len(b)-off < frameHeader+n {
+			return recs, j.truncateTorn(path, off)
+		}
+		sum := binary.LittleEndian.Uint64(b[off+4:])
+		payload := b[off+frameHeader : off+frameHeader+n]
+		if checksum(payload) != sum {
+			return recs, j.quarantineTail(path, b, off)
+		}
+		recs = append(recs, payload)
+		off += frameHeader + n
+	}
+	return recs, nil
+}
+
+func (j *Journal) truncateTorn(path string, off int) error {
+	j.torn++
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+func (j *Journal) quarantineTail(path string, b []byte, off int) error {
+	j.quarantined++
+	if err := os.WriteFile(path+".bad", b[off:], 0o644); err != nil {
+		return fmt.Errorf("journal: quarantining tail of %s: %w", path, err)
+	}
+	if err := os.Truncate(path, int64(off)); err != nil {
+		return fmt.Errorf("journal: truncating corrupt tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+func checksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// openActiveLocked creates the next active segment and syncs the directory
+// so the new file itself survives a crash.
+func (j *Journal) openActiveLocked() error {
+	f, err := os.OpenFile(j.segPath(j.seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.size = 0
+	if !j.opts.NoSync {
+		j.syncDir()
+	}
+	return nil
+}
+
+func (j *Journal) syncDir() {
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Replay invokes fn for each record that survived Open, in append order,
+// and releases the replay buffer. It stops at the first fn error.
+func (j *Journal) Replay(fn func(payload []byte) error) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	recs := j.replay
+	j.replay = nil
+	j.mu.Unlock()
+	for _, p := range recs {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Append durably writes one record: when it returns nil the record (and
+// every record appended before it) is on disk. Concurrent appenders share
+// fsyncs.
+func (j *Journal) Append(payload []byte) error {
+	if j == nil {
+		return nil
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[4:], checksum(payload))
+	copy(frame[frameHeader:], payload)
+
+	damaged := false
+	switch d := j.opts.Faults.Decide(faults.OpJournal, "append"); d.Kind {
+	case faults.Corrupt:
+		j.opts.Faults.CorruptBytes(frame[frameHeader:], "journal")
+		damaged = true
+	case faults.Torn:
+		frame = frame[:frameHeader+len(payload)/2]
+		damaged = true
+	}
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	err := j.writeLocked(frame)
+	if err == nil {
+		j.appended++
+		if damaged {
+			// Seal the damaged tail into its own segment so the frames that
+			// follow stay parseable: replay loses exactly this record.
+			err = j.rotateLocked()
+		}
+	}
+	gen := j.writeGen
+	noSync := j.opts.NoSync
+	j.mu.Unlock()
+	if err != nil || noSync {
+		return err
+	}
+	return j.syncTo(gen)
+}
+
+func (j *Journal) writeLocked(frame []byte) error {
+	if j.size > 0 && j.size+int64(len(frame)) > j.opts.MaxSegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := j.f.Write(frame)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.writeGen++
+	return nil
+}
+
+// rotateLocked seals the active segment (fsyncing it, so everything
+// written so far becomes durable) and opens the next one.
+func (j *Journal) rotateLocked() error {
+	if !j.opts.NoSync {
+		start := time.Now()
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.opts.FsyncHist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		j.fsyncs++
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.sealed = append(j.sealed, j.seq)
+	j.synced = j.writeGen
+	j.seq++
+	return j.openActiveLocked()
+}
+
+// syncTo blocks until writeGen gen is durable. The caller holding syncMu
+// fsyncs on behalf of everyone who queued behind it.
+func (j *Journal) syncTo(gen uint64) error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	if j.synced >= gen {
+		j.mu.Unlock()
+		return nil
+	}
+	target := j.writeGen
+	f := j.f
+	j.mu.Unlock()
+
+	start := time.Now()
+	err := f.Sync()
+	j.opts.FsyncHist.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+
+	j.mu.Lock()
+	j.fsyncs++
+	if err == nil && target > j.synced {
+		j.synced = target
+	}
+	covered := j.synced >= gen
+	j.mu.Unlock()
+	if err != nil && covered {
+		// A concurrent rotation sealed (and fsynced) the segment holding
+		// our record out from under the captured handle; the record is
+		// durable even though this Sync failed.
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the active segment (a no-op if it is empty) and returns the
+// compaction mark: every record appended before the call lives in a sealed
+// segment numbered below the mark.
+func (j *Journal) Rotate() (mark int, err error) {
+	if j == nil {
+		return 0, ErrClosed
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, ErrClosed
+	}
+	if j.size > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return j.seq, nil
+}
+
+// DropSealedBelow removes sealed segments numbered below mark — the
+// compaction step after a checkpoint has been durably re-appended.
+// Quarantined ".bad" files are kept as evidence. Returns how many segments
+// were removed.
+func (j *Journal) DropSealedBelow(mark int) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var firstErr error
+	kept := j.sealed[:0]
+	n := 0
+	for _, s := range j.sealed {
+		if s >= mark {
+			kept = append(kept, s)
+			continue
+		}
+		if err := os.Remove(j.segPath(s)); err != nil && !os.IsNotExist(err) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("journal: %w", err)
+			}
+			kept = append(kept, s)
+			continue
+		}
+		n++
+	}
+	j.sealed = kept
+	j.dropped += uint64(n)
+	if n > 0 && !j.opts.NoSync {
+		j.syncDir()
+	}
+	return n, firstErr
+}
+
+// SealedCount reports how many sealed segments exist — the owner's
+// compaction trigger.
+func (j *Journal) SealedCount() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.sealed)
+}
+
+// Dir returns the journal directory ("" for nil).
+func (j *Journal) Dir() string {
+	if j == nil {
+		return ""
+	}
+	return j.dir
+}
+
+// Stats snapshots the journal counters (zero for nil).
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Dir:         j.dir,
+		Segments:    len(j.sealed) + 1,
+		ActiveBytes: j.size,
+		Appended:    j.appended,
+		Replayed:    j.replayed,
+		Torn:        j.torn,
+		Quarantined: j.quarantined,
+		Fsyncs:      j.fsyncs,
+		Dropped:     j.dropped,
+	}
+}
+
+// Close syncs and closes the active segment. Further appends return
+// ErrClosed.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var err error
+	if !j.opts.NoSync {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"hybp/internal/faults"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func replayAll(t *testing.T, j *Journal) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := j.Replay(func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf(`{"rec":%d,"pad":"%032d"}`, i, i))
+		want = append(want, p)
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := j.Stats(); s.Appended != 20 {
+		t.Fatalf("appended = %d, want 20", s.Appended)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	got := replayAll(t, j2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if s := j2.Stats(); s.Replayed != 20 || s.Torn != 0 || s.Quarantined != 0 {
+		t.Fatalf("clean reopen stats = %+v", s)
+	}
+}
+
+// TestTornTailTruncated: a record cut short at a segment's end (crash
+// between write and fsync) is silently truncated away; earlier records
+// survive and a second open sees a clean log.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn write: a valid header promising more payload than
+	// the file holds.
+	seg := filepath.Join(dir, segName(1))
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{200, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 'h', 'a'})
+	f.Close()
+
+	j2 := openT(t, dir, Options{})
+	got := replayAll(t, j2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(got))
+	}
+	if s := j2.Stats(); s.Torn != 1 || s.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want exactly one torn repair", s)
+	}
+	if b, err := os.ReadFile(seg); err != nil || !bytes.Equal(b, full) {
+		t.Fatalf("torn tail not truncated back to the last good record (err %v)", err)
+	}
+	j2.Close()
+
+	// The repair is idempotent: a third open sees no damage at all.
+	j3 := openT(t, dir, Options{})
+	defer j3.Close()
+	if got := replayAll(t, j3); len(got) != 3 {
+		t.Fatalf("replayed %d records on re-open, want 3", len(got))
+	}
+	if s := j3.Stats(); s.Torn != 0 {
+		t.Fatalf("second open still repairing: %+v", s)
+	}
+}
+
+// TestChecksumQuarantine: a record whose checksum mismatches poisons the
+// rest of its segment — the tail moves to a .bad file, earlier records and
+// later segments survive.
+func TestChecksumQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	p0 := []byte("first-record")
+	p1 := []byte("second-record")
+	p2 := []byte("third-record")
+	for _, p := range [][]byte{p0, p1, p2} {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the second record's payload.
+	seg := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badOff := frameHeader + len(p0) + frameHeader + 2
+	b[badOff] ^= 0xFF
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	got := replayAll(t, j2)
+	if len(got) != 1 || !bytes.Equal(got[0], p0) {
+		t.Fatalf("replayed %d records, want just the first intact one", len(got))
+	}
+	if s := j2.Stats(); s.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want one quarantine", s)
+	}
+	bad, err := os.ReadFile(seg + ".bad")
+	if err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+	wantTail := b[frameHeader+len(p0):]
+	if !bytes.Equal(bad, wantTail) {
+		t.Fatalf("quarantined %d bytes, want the %d-byte damaged tail", len(bad), len(wantTail))
+	}
+}
+
+// TestRotationAndCompaction drives the owner-side checkpoint protocol:
+// rotate, re-append surviving state, drop superseded segments — and checks
+// replay equals exactly checkpoint + post-checkpoint records.
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{MaxSegmentBytes: 64})
+	for i := 0; i < 12; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("old-record-%02d-padpadpad", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.SealedCount() < 2 {
+		t.Fatalf("sealed = %d after 12 oversized appends, want >= 2", j.SealedCount())
+	}
+
+	mark, err := j.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("checkpoint-state")); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := j.DropSealedBelow(mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("compaction dropped nothing")
+	}
+	if err := j.Append([]byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{MaxSegmentBytes: 64})
+	defer j2.Close()
+	got := replayAll(t, j2)
+	want := []string{"checkpoint-state", "post-checkpoint"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records after compaction, want %d (%q)", len(got), len(want), got)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplayIdempotent: open/close cycles without writes neither invent
+// nor lose records, and empty active segments left by previous opens are
+// garbage-collected rather than accumulating.
+func TestReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	for cycle := 0; cycle < 4; cycle++ {
+		jc := openT(t, dir, Options{})
+		if got := replayAll(t, jc); len(got) != 5 {
+			t.Fatalf("cycle %d replayed %d records, want 5", cycle, len(got))
+		}
+		jc.Close()
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 2 {
+		t.Fatalf("%d files after 5 open/close cycles — empty segments leaking", len(ents))
+	}
+}
+
+// TestConcurrentAppends exercises group commit under the race detector:
+// every record whose Append returned before Close must replay.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{MaxSegmentBytes: 1 << 14})
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%02d-i%03d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{})
+	defer j2.Close()
+	got := replayAll(t, j2)
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*perWriter)
+	}
+	seen := make([]string, len(got))
+	for i, p := range got {
+		seen[i] = string(p)
+	}
+	sort.Strings(seen)
+	for i := 1; i < len(seen); i++ {
+		if seen[i] == seen[i-1] {
+			t.Fatalf("duplicate record %q", seen[i])
+		}
+	}
+}
+
+// TestInjectedDamage: the faults journal.corrupt / journal.torn sites
+// damage exactly the records the schedule picks; replay drops those and
+// keeps everything else.
+func TestInjectedDamage(t *testing.T) {
+	for _, tc := range []struct {
+		name              string
+		cfg               faults.Config
+		torn, quarantined uint64
+	}{
+		{"corrupt", faults.Config{Seed: 1, JournalCorrupt: 1.0, MaxConsecutive: 1}, 0, 1},
+		{"torn", faults.Config{Seed: 1, JournalTorn: 1.0, MaxConsecutive: 1}, 1, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j := openT(t, dir, Options{Faults: faults.New(tc.cfg)})
+			for i := 0; i < 3; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("payload-%d-with-some-length", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			j2 := openT(t, dir, Options{})
+			defer j2.Close()
+			got := replayAll(t, j2)
+			if len(got) != 2 {
+				t.Fatalf("replayed %d records, want 2 (first damaged)", len(got))
+			}
+			for i, want := range []string{"payload-1-with-some-length", "payload-2-with-some-length"} {
+				if string(got[i]) != want {
+					t.Fatalf("record %d = %q, want %q", i, got[i], want)
+				}
+			}
+			if s := j2.Stats(); s.Torn != tc.torn || s.Quarantined != tc.quarantined {
+				t.Fatalf("stats = %+v, want torn=%d quarantined=%d", s, tc.torn, tc.quarantined)
+			}
+		})
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(func([]byte) error { t.Fatal("nil journal replayed"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := j.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats = %+v", s)
+	}
+	if j.SealedCount() != 0 || j.Dir() != "" {
+		t.Fatal("nil journal reports state")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	j := openT(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("late")); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}

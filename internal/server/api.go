@@ -143,6 +143,13 @@ type Event struct {
 	Seq  int     `json:"seq"`
 	Type string  `json:"type"` // queued|running|progress|done|failed
 	Job  JobInfo `json:"job"`
+	// Epoch is the journal recovery epoch the event was emitted in: 0 until
+	// the first crash recovery, then monotonically increasing per restart
+	// that replayed a journal. Seqs stay dense across epochs (recovery
+	// resumes numbering where the replayed log ended), so a resumed stream
+	// never regresses; the epoch tells a client the daemon restarted under
+	// it — a resumed job re-announces "running" in the new epoch.
+	Epoch int `json:"epoch,omitempty"`
 	// Progress accompanies "progress" events.
 	Progress *ProgressInfo `json:"progress,omitempty"`
 }
@@ -194,6 +201,9 @@ type MetricsSnapshot struct {
 	// Cluster is present only when the server runs as a coordinator:
 	// per-worker lease/completion counters and queue state.
 	Cluster *cluster.MetricsSnapshot `json:"cluster,omitempty"`
+	// Journal is present only when the server runs with -journal: write-
+	// ahead-log counters plus what the last boot's recovery replayed.
+	Journal *JournalSnapshot `json:"journal,omitempty"`
 	// SimulatedCycles is the cumulative virtual cycles simulated by this
 	// process (pipeline.TotalSimulatedCycles). Load tests subtract two
 	// snapshots to report simulator-side cycles/sec independently of
@@ -219,6 +229,45 @@ type ServerCounters struct {
 	QueueDepth      int   `json:"queue_depth"`
 	QueueCapacity   int   `json:"queue_capacity"`
 	Draining        bool  `json:"draining"`
+}
+
+// JournalSnapshot is the journal section of GET /metrics.
+type JournalSnapshot struct {
+	Dir         string `json:"dir"`
+	Segments    int    `json:"segments"`
+	ActiveBytes int64  `json:"active_bytes"`
+	Appended    int64  `json:"records_appended"`
+	Replayed    int64  `json:"records_replayed"`
+	Torn        int64  `json:"torn_repaired"`
+	Quarantined int64  `json:"quarantined"`
+	Fsyncs      int64  `json:"fsyncs"`
+	Compacted   int64  `json:"segments_compacted"`
+	// AppendErrors counts events that could not be journaled (logged and
+	// served from memory anyway — availability over durability).
+	AppendErrors int64        `json:"append_errors"`
+	Recovery     RecoveryInfo `json:"recovery"`
+}
+
+// RecoveryInfo describes what this process replayed at startup. All-zero
+// (with Epoch 0) means the journal was fresh — a first boot.
+type RecoveryInfo struct {
+	// Epoch is this process's recovery epoch: 0 on a fresh journal, else
+	// one above the highest epoch seen in the replayed log.
+	Epoch int `json:"epoch"`
+	// ReplayedRecords is how many intact journal records the boot replayed.
+	ReplayedRecords int `json:"replayed_records"`
+	// RecoveredJobs = RestoredTerminal + Resumed.
+	RecoveredJobs int `json:"recovered_jobs"`
+	// RestoredTerminal jobs came back done/failed with results intact —
+	// no re-execution at all.
+	RestoredTerminal int `json:"restored_terminal"`
+	// Resumed jobs were queued or running at the crash and were re-enqueued
+	// (content-addressing makes the re-run idempotent: warm cache entries
+	// complete instantly).
+	Resumed int `json:"resumed"`
+	// Dropped jobs had journal records too damaged to act on (no request
+	// left to re-run, or no intact events); clients must resubmit those.
+	Dropped int `json:"dropped"`
 }
 
 // LatencySnapshot is a cumulative (Prometheus-style) histogram of job

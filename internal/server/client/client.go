@@ -388,6 +388,88 @@ func (c *Client) Stream(ctx context.Context, id string, lastSeq int, fn func(ser
 	return ctx.Err()
 }
 
+// Follow streams a job's events like Stream, but survives disconnects and
+// server restarts: whenever the stream drops without a terminal event — a
+// connection reset, a drain, the daemon killed outright — it reconnects
+// with Last-Event-ID set to the last seq it delivered, so a journal-backed
+// server (hybpd -journal) resumes the feed exactly where it left off. fn
+// (which may be nil) sees each event at most once, in seq order, across
+// every reconnect. Follow returns the job's terminal info; if fn returns
+// false it stops early and returns the info from the last event. A
+// non-retryable API error — e.g. 404 from a server restarted without a
+// journal — returns immediately. Consecutive reconnects without progress
+// are bounded by MaxRetries.
+func (c *Client) Follow(ctx context.Context, id string, lastSeq int, fn func(server.Event) bool) (server.JobInfo, error) {
+	ctx, span := c.Tracer.Start(ctx, "client.follow")
+	defer span.End()
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxB := c.RetryMax
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	retries := c.maxRetries()
+	last := lastSeq
+	failures := 0
+	for {
+		var final server.JobInfo
+		done := false
+		err := c.Stream(ctx, id, last, func(ev server.Event) bool {
+			if last >= 0 && ev.Seq <= last {
+				return true // replayed after a raced reconnect; already delivered
+			}
+			last = ev.Seq
+			failures = 0 // progress restores the reconnect budget
+			if fn != nil && !fn(ev) {
+				final, done = ev.Job, true
+				return false
+			}
+			if ev.Job.Terminal() {
+				final, done = ev.Job, true
+				return false
+			}
+			return true
+		})
+		if done {
+			span.SetString("job", final.ID)
+			return final, nil
+		}
+		if ctx.Err() != nil {
+			return server.JobInfo{}, ctx.Err()
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.IsRetryable() {
+			span.SetErr(err)
+			return server.JobInfo{}, err
+		}
+		// The stream may have ended cleanly because the job finished at or
+		// before our resume point; check once before treating it as a drop.
+		if ji, gerr := c.Get(ctx, id); gerr == nil && ji.Terminal() {
+			span.SetString("job", ji.ID)
+			return ji, nil
+		}
+		failures++
+		if failures > retries {
+			if err == nil {
+				err = errors.New("stream ended without a terminal event")
+			}
+			return server.JobInfo{}, fmt.Errorf("follow %s: gave up after %d reconnects: %w", id, retries, err)
+		}
+		c.count(func(k *Counters) *atomic.Int64 { return &k.RetriesTransport })
+		backoff := base << min(failures-1, 30)
+		if backoff > maxB || backoff <= 0 {
+			backoff = maxB
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return server.JobInfo{}, ctx.Err()
+		}
+	}
+}
+
 // Wait blocks until the job reaches a terminal state and returns its final
 // info. It prefers the SSE stream (live, ordered); if streaming fails or
 // ends without a terminal event — e.g. across a server drain — it falls

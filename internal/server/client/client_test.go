@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -457,5 +458,103 @@ func TestClassify(t *testing.T) {
 		if got := Classify(tc.err); got != tc.want {
 			t.Errorf("Classify(%v) = %q, want %q", tc.err, got, tc.want)
 		}
+	}
+}
+
+// TestFollowResumesAcrossRestart drives Follow through a full daemon
+// replacement: the SSE connection is severed mid-job, the original server
+// is swapped out for one recovered from the same journal directory, and
+// Follow must reconnect with Last-Event-ID and deliver one dense,
+// duplicate-free event sequence ending in the terminal result.
+func TestFollowResumesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	newServer := func() *server.Server {
+		s, err := server.New(server.Config{
+			JournalDir:       dir,
+			Workers:          1,
+			ProgressInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		return s
+	}
+	s1 := newServer()
+
+	// A handler indirection keeps the BaseURL stable across the "restart".
+	var cur atomic.Value
+	cur.Store(s1.Handler())
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.HTTPClient = ts.Client()
+	c.RetryBase = 10 * time.Millisecond
+	c.Counters = &Counters{}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req := tinySim("gcc", "hybp")
+	req.Sim.Cycles = 1_200_000
+	ji, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	var mu sync.Mutex
+	var seqs []int
+	sawEnough := make(chan struct{})
+	var once sync.Once
+	followDone := make(chan struct{})
+	var final server.JobInfo
+	var followErr error
+	go func() {
+		defer close(followDone)
+		final, followErr = c.Follow(ctx, ji.ID, -1, func(ev server.Event) bool {
+			mu.Lock()
+			seqs = append(seqs, ev.Seq)
+			n := len(seqs)
+			mu.Unlock()
+			if n >= 3 {
+				once.Do(func() { close(sawEnough) })
+			}
+			return true
+		})
+	}()
+
+	<-sawEnough
+	// "Restart": cut every live connection, take the server down, bring up
+	// a replacement recovered from the same journal.
+	cur.Store(http.Handler(down))
+	ts.CloseClientConnections()
+	s1.Close()
+	s2 := newServer()
+	defer s2.Close()
+	cur.Store(s2.Handler())
+
+	select {
+	case <-followDone:
+	case <-time.After(45 * time.Second):
+		t.Fatal("Follow never finished after restart")
+	}
+	if followErr != nil {
+		t.Fatalf("Follow: %v", followErr)
+	}
+	if final.Status != server.StatusDone || len(final.Result) == 0 {
+		t.Fatalf("final = %s (err %q, %d result bytes)", final.Status, final.Error, len(final.Result))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, seq := range seqs {
+		if seq != i {
+			t.Fatalf("event seqs not dense across restart at %d: %v", i, seqs)
+		}
+	}
+	if c.Counters.Total() == 0 {
+		t.Fatal("Follow finished without reconnecting — the restart never bit")
 	}
 }

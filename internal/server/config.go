@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// ConfigError is the typed rejection New returns for an invalid Config,
+// naming the offending field so operators fix the flag, not the symptom.
+// cmd/hybpd maps it to exit status 2 (the flag-error convention).
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("server: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// validate rejects configurations that would otherwise misbehave silently.
+// Zero keeps a field's documented default (tests and callers lean on
+// that), so the checks target values that can only be mistakes: negative
+// sizes and durations, and a shed threshold above the queue capacity —
+// shedding that can never fire is indistinguishable from shedding that is
+// broken.
+func (cfg Config) validate() error {
+	type check struct {
+		field  string
+		bad    bool
+		reason string
+	}
+	negDur := func(field string, d time.Duration) check {
+		return check{field, d < 0, fmt.Sprintf("is negative (%s); use 0 for the default", d)}
+	}
+	queue := cfg.QueueSize
+	if queue == 0 {
+		queue = 64
+	}
+	checks := []check{
+		{"queue_size", cfg.QueueSize < 0, fmt.Sprintf("is negative (%d); use 0 for the default of 64", cfg.QueueSize)},
+		{"workers", cfg.Workers < 0, fmt.Sprintf("is negative (%d); use 0 for the NumCPU default", cfg.Workers)},
+		{"harness_workers", cfg.HarnessWorkers < 0, fmt.Sprintf("is negative (%d); use 0 for the NumCPU default", cfg.HarnessWorkers)},
+		negDur("job_timeout", cfg.JobTimeout),
+		negDur("progress_interval", cfg.ProgressInterval),
+		negDur("sse_heartbeat", cfg.SSEHeartbeat),
+		{"journal_segment_bytes", cfg.JournalSegmentBytes < 0, fmt.Sprintf("is negative (%d); use 0 for the 4 MiB default", cfg.JournalSegmentBytes)},
+		{"shed_threshold", cfg.ShedThreshold > queue,
+			fmt.Sprintf("(%d) exceeds the queue capacity (%d): shedding could never fire; lower it, raise the queue, or use a negative value to disable shedding", cfg.ShedThreshold, queue)},
+	}
+	for _, c := range checks {
+		if c.bad {
+			return &ConfigError{Field: c.field, Reason: c.reason}
+		}
+	}
+	return nil
+}

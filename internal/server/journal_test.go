@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// streamEvents consumes the SSE stream for id, resuming after lastSeq when
+// >= 0, until stop returns true or the stream ends; it returns the events
+// received in order.
+func streamEvents(t *testing.T, ts *httptest.Server, id string, lastSeq int, stop func([]Event) bool) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if lastSeq >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(lastSeq))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload: %v", err)
+		}
+		evs = append(evs, ev)
+		if stop(evs) {
+			cancel()
+			break
+		}
+	}
+	return evs
+}
+
+// TestSSEResumeAcrossRestart is the tentpole e2e: submit, consume part of
+// the event stream, kill the daemon's durability mid-job (the in-process
+// stand-in for SIGKILL — the journal stops recording exactly as a crash
+// would), restart on the same journal dir, reconnect with Last-Event-ID,
+// and require dense gapless seqs through to a terminal event in the new
+// recovery epoch.
+func TestSSEResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	s1, ts1 := testServer(t, Config{
+		JournalDir:       dir,
+		Workers:          1,
+		ProgressInterval: 5 * time.Millisecond,
+	}, func(*Job) (any, error) { <-release; return "never-persisted", nil })
+
+	_, _, ji := postJob(t, ts1, `{"sim":{"bench":"gcc"}}`)
+
+	// Consume the stream partway: queued, running, and at least two
+	// progress events, then disconnect.
+	evs := streamEvents(t, ts1, ji.ID, -1, func(evs []Event) bool { return len(evs) >= 4 })
+	if len(evs) < 4 {
+		t.Fatalf("consumed %d events before restart, want >= 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("pre-restart seqs not dense: %v", evs)
+		}
+		if ev.Epoch != 0 {
+			t.Fatalf("pre-restart event in epoch %d, want 0", ev.Epoch)
+		}
+	}
+	last := evs[len(evs)-1].Seq
+
+	// Crash: the journal stops recording mid-job. Everything after this —
+	// including the job's completion on server 1 — is lost exactly as a
+	// SIGKILL would lose it.
+	if err := s1.jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	ts1.Close()
+	s1.Close()
+
+	// Restart on the same journal dir. The interrupted job is re-enqueued
+	// and this time completes.
+	s2, ts2 := testServer(t, Config{
+		JournalDir:       dir,
+		Workers:          1,
+		ProgressInterval: 5 * time.Millisecond,
+	}, func(*Job) (any, error) { return "recovered-result", nil })
+	if rec := s2.recovery; rec.Epoch != 1 || rec.Resumed != 1 || rec.RecoveredJobs != 1 {
+		t.Fatalf("recovery = %+v, want epoch 1 with 1 resumed job", rec)
+	}
+	final := waitDone(t, ts2, ji.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("resumed job = %s (err %q)", final.Status, final.Error)
+	}
+	var got string
+	if err := json.Unmarshal(final.Result, &got); err != nil || got != "recovered-result" {
+		t.Fatalf("resumed result = %s (err %v)", final.Result, err)
+	}
+
+	// Reconnect with Last-Event-ID from before the restart: the stream must
+	// continue exactly where it left off — dense, no duplicates, no gaps —
+	// and reach the terminal event stamped with the new epoch.
+	resumed := streamEvents(t, ts2, ji.ID, last, func(evs []Event) bool {
+		return evs[len(evs)-1].Job.Terminal()
+	})
+	if len(resumed) == 0 {
+		t.Fatal("resumed stream delivered nothing")
+	}
+	for i, ev := range resumed {
+		if want := last + 1 + i; ev.Seq != want {
+			t.Fatalf("resumed seq[%d] = %d, want %d (gap or duplicate across restart): %+v", i, ev.Seq, want, resumed)
+		}
+	}
+	termEv := resumed[len(resumed)-1]
+	if termEv.Type != StatusDone || termEv.Epoch != 1 {
+		t.Fatalf("terminal event = type %s epoch %d, want done in epoch 1", termEv.Type, termEv.Epoch)
+	}
+	// The re-announced "running" in the new epoch is the restart marker.
+	foundRestartMarker := false
+	for _, ev := range resumed {
+		if ev.Type == StatusRunning && ev.Epoch == 1 {
+			foundRestartMarker = true
+		}
+	}
+	if !foundRestartMarker {
+		t.Fatalf("resumed stream never re-announced running in epoch 1: %+v", resumed)
+	}
+}
+
+// TestRecoveryRestoresTerminalResults: a cleanly-finished job survives a
+// restart with its result intact and without re-executing anything.
+func TestRecoveryRestoresTerminalResults(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := testServer(t, Config{JournalDir: dir}, func(*Job) (any, error) {
+		return map[string]int{"answer": 42}, nil
+	})
+	_, _, ji := postJob(t, ts1, `{"sim":{"bench":"xz"}}`)
+	waitDone(t, ts1, ji.ID)
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := testServer(t, Config{JournalDir: dir}, func(*Job) (any, error) {
+		t.Error("terminal job re-executed after restart")
+		return nil, errors.New("re-executed")
+	})
+	if rec := s2.recovery; rec.RestoredTerminal != 1 || rec.Resumed != 0 {
+		t.Fatalf("recovery = %+v, want 1 restored-terminal job", rec)
+	}
+	got := getJob(t, ts2, ji.ID)
+	if got.Status != StatusDone {
+		t.Fatalf("restored job status = %s", got.Status)
+	}
+	var res map[string]int
+	if err := json.Unmarshal(got.Result, &res); err != nil || res["answer"] != 42 {
+		t.Fatalf("restored result = %s (err %v)", got.Result, err)
+	}
+
+	// A resubmission of the same config dedupes onto the restored job.
+	resp, _, re := postJob(t, ts2, `{"sim":{"bench":"xz"}}`)
+	if resp.StatusCode != http.StatusOK || !re.Deduped || re.ID != ji.ID {
+		t.Fatalf("resubmit after restart = %d %+v, want dedup onto %s", resp.StatusCode, re, ji.ID)
+	}
+
+	// The metrics surface reports the recovery.
+	m := s2.Metrics()
+	if m.Journal == nil || m.Journal.Recovery.Epoch != 1 || m.Journal.Replayed == 0 {
+		t.Fatalf("journal metrics = %+v", m.Journal)
+	}
+}
+
+// TestDrainPersistsQueuedJobs: with a journal, a drain runs what already
+// started but leaves still-queued jobs durable for the next boot instead
+// of making shutdown wait out the backlog.
+func TestDrainPersistsQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s1, ts1 := testServer(t, Config{JournalDir: dir, Workers: 1}, func(*Job) (any, error) {
+		started <- struct{}{}
+		<-release
+		return "ran-before-drain", nil
+	})
+	_, _, jiA := postJob(t, ts1, `{"sim":{"bench":"gcc"}}`)
+	<-started // A occupies the only worker
+	_, _, jiB := postJob(t, ts1, `{"sim":{"bench":"leela"}}`)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s1.Drain(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Drain flip the draining flag
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := s1.lookup(jiB.ID).Info().Status; st != StatusQueued {
+		t.Fatalf("queued job after drain = %s, want still queued (persisted)", st)
+	}
+	ts1.Close()
+
+	s2, ts2 := testServer(t, Config{JournalDir: dir}, func(*Job) (any, error) {
+		return "ran-after-restart", nil
+	})
+	if rec := s2.recovery; rec.RestoredTerminal != 1 || rec.Resumed != 1 {
+		t.Fatalf("recovery = %+v, want A terminal + B resumed", rec)
+	}
+	a := getJob(t, ts2, jiA.ID)
+	var ares string
+	if a.Status != StatusDone || json.Unmarshal(a.Result, &ares) != nil || ares != "ran-before-drain" {
+		t.Fatalf("job A after restart = %s %s", a.Status, a.Result)
+	}
+	b := waitDone(t, ts2, jiB.ID)
+	var bres string
+	if b.Status != StatusDone || json.Unmarshal(b.Result, &bres) != nil || bres != "ran-after-restart" {
+		t.Fatalf("job B after restart = %s %s", b.Status, b.Result)
+	}
+}
+
+// TestJournalCompaction: with a tiny segment threshold, checkpoints kick
+// in during normal operation, segments get dropped, and — the part that
+// matters — a restart after compaction still rebuilds every job from the
+// checkpoint restatement.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := testServer(t, Config{
+		JournalDir:          dir,
+		JournalSegmentBytes: 512,
+	}, func(j *Job) (any, error) { return "r-" + j.req.Sim.Bench, nil })
+
+	benches := []string{"gcc", "xz", "leela"}
+	var ids []string
+	for i, b := range benches {
+		for seed := 1; seed <= 3; seed++ {
+			_, _, ji := postJob(t, ts1, fmt.Sprintf(`{"sim":{"bench":%q,"seed":%d}}`, b, i*10+seed))
+			ids = append(ids, ji.ID)
+		}
+	}
+	for _, id := range ids {
+		waitDone(t, ts1, id)
+	}
+	waitFor(t, func() bool { return s1.jn.Stats().Dropped > 0 })
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := testServer(t, Config{JournalDir: dir, JournalSegmentBytes: 512}, func(*Job) (any, error) {
+		t.Error("job re-executed after compacted restart")
+		return nil, errors.New("re-executed")
+	})
+	if rec := s2.recovery; rec.RestoredTerminal != len(ids) || rec.Dropped != 0 {
+		t.Fatalf("recovery after compaction = %+v, want all %d jobs terminal", rec, len(ids))
+	}
+	for _, id := range ids {
+		ji := getJob(t, ts2, id)
+		if ji.Status != StatusDone || len(ji.Result) == 0 {
+			t.Fatalf("job %s after compacted restart = %s %s", id, ji.Status, ji.Result)
+		}
+	}
+	// Every restored event log must still be dense from 0 for SSE resume.
+	evs := streamEvents(t, ts2, ids[0], -1, func(evs []Event) bool {
+		return evs[len(evs)-1].Job.Terminal()
+	})
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("restored stream not dense at %d: %+v", i, evs)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"negative queue", Config{QueueSize: -1}, "queue_size"},
+		{"negative workers", Config{Workers: -3}, "workers"},
+		{"negative harness workers", Config{HarnessWorkers: -1}, "harness_workers"},
+		{"negative job timeout", Config{JobTimeout: -time.Second}, "job_timeout"},
+		{"negative progress interval", Config{ProgressInterval: -time.Millisecond}, "progress_interval"},
+		{"negative heartbeat", Config{SSEHeartbeat: -time.Second}, "sse_heartbeat"},
+		{"negative segment bytes", Config{JournalSegmentBytes: -8}, "journal_segment_bytes"},
+		{"shed above queue", Config{QueueSize: 8, ShedThreshold: 9}, "shed_threshold"},
+		{"shed above default queue", Config{ShedThreshold: 65}, "shed_threshold"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("New(%+v) = %v, want *ConfigError", tc.cfg, err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("rejected field %q, want %q (%v)", ce.Field, tc.field, err)
+			}
+		})
+	}
+	// Negative ShedThreshold stays legal: it means "shedding disabled".
+	s, err := New(Config{ShedThreshold: -1})
+	if err != nil {
+		t.Fatalf("ShedThreshold -1 rejected: %v", err)
+	}
+	s.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybp/internal/cluster"
+	"hybp/internal/journal"
 	"hybp/internal/obs"
 	"hybp/internal/pipeline"
 )
@@ -19,6 +20,12 @@ var latencyBoundsMS = []float64{
 // seconds, not minutes, so the spread tops out lower than job latency.
 var execBoundsMS = []float64{
 	1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000,
+}
+
+// fsyncBoundsMS buckets journal fsync latency: sub-millisecond on NVMe and
+// tmpfs, tens of milliseconds on contended spinning disks.
+var fsyncBoundsMS = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
 }
 
 // metrics is the server's observability state, hosted on an obs.Registry
@@ -39,6 +46,13 @@ type metrics struct {
 
 	latency  *obs.Histogram
 	execTime *obs.Histogram
+
+	// jnFsync feeds the journal's fsync latency (created eagerly so it can
+	// be handed to journal.Open, registered only when a journal is live);
+	// journalErrs counts events that failed to journal — a zero-value
+	// placeholder until registerDerived swaps in the registered counter.
+	jnFsync     *obs.Histogram
+	journalErrs *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -55,6 +69,9 @@ func newMetrics() *metrics {
 		running:   reg.Gauge("hybp_jobs_running", "jobs executing right now"),
 		latency:   reg.Histogram("hybp_job_latency_ms", "job submit-to-finish latency in milliseconds", obs.NewHistogram(latencyBoundsMS)),
 		execTime:  reg.Histogram("hybp_exec_time_ms", "harness local execution time per attempt in milliseconds", obs.NewHistogram(execBoundsMS)),
+
+		jnFsync:     obs.NewHistogram(fsyncBoundsMS),
+		journalErrs: &obs.Counter{},
 	}
 	return m
 }
@@ -77,6 +94,24 @@ func (m *metrics) registerDerived(s *Server) {
 	m.reg.GaugeFunc("hybp_queue_depth", "admission queue depth", func() int64 { return int64(len(s.queue)) })
 	m.reg.GaugeFunc("hybp_queue_capacity", "admission queue capacity", func() int64 { return int64(cap(s.queue)) })
 	m.reg.CounterFunc("hybp_sim_cycles_total", "cumulative virtual cycles simulated by this process", pipeline.TotalSimulatedCycles)
+
+	if s.jn != nil {
+		jst := func(read func(journal.Stats) uint64) func() uint64 {
+			return func() uint64 { return read(s.jn.Stats()) }
+		}
+		m.journalErrs = m.reg.Counter("hybp_journal_append_errors_total", "events that could not be journaled (served from memory only)")
+		m.reg.CounterFunc("hybp_journal_appended_total", "journal records durably appended", jst(func(st journal.Stats) uint64 { return st.Appended }))
+		m.reg.CounterFunc("hybp_journal_replayed_total", "journal records replayed at startup", jst(func(st journal.Stats) uint64 { return st.Replayed }))
+		m.reg.CounterFunc("hybp_journal_torn_total", "torn record tails truncated at startup", jst(func(st journal.Stats) uint64 { return st.Torn }))
+		m.reg.CounterFunc("hybp_journal_quarantined_total", "corrupt segment tails quarantined to .bad files", jst(func(st journal.Stats) uint64 { return st.Quarantined }))
+		m.reg.CounterFunc("hybp_journal_fsyncs_total", "journal fsync calls (group commit batches appends)", jst(func(st journal.Stats) uint64 { return st.Fsyncs }))
+		m.reg.CounterFunc("hybp_journal_compacted_segments_total", "sealed segments removed by checkpoint compaction", jst(func(st journal.Stats) uint64 { return st.Dropped }))
+		m.reg.GaugeFunc("hybp_journal_segments", "journal segment files on disk (sealed + active)", func() int64 { return int64(s.jn.Stats().Segments) })
+		m.reg.GaugeFunc("hybp_journal_active_bytes", "bytes in the active journal segment", func() int64 { return s.jn.Stats().ActiveBytes })
+		m.reg.GaugeFunc("hybp_journal_recovery_epoch", "recovery epoch of this process (0 = fresh journal)", func() int64 { return int64(s.recovery.Epoch) })
+		m.reg.GaugeFunc("hybp_journal_recovered_jobs", "jobs rebuilt from the journal at startup", func() int64 { return int64(s.recovery.RecoveredJobs) })
+		m.reg.Histogram("hybp_journal_fsync_ms", "journal fsync latency in milliseconds", m.jnFsync)
+	}
 
 	if c := s.cfg.Coordinator; c != nil {
 		totals := func(read func(cluster.Totals) uint64) func() uint64 {

@@ -16,6 +16,7 @@ import (
 	"hybp/internal/cluster"
 	"hybp/internal/faults"
 	"hybp/internal/harness"
+	"hybp/internal/journal"
 	"hybp/internal/obs"
 	"hybp/internal/pipeline"
 	"hybp/internal/sim"
@@ -35,6 +36,15 @@ type Config struct {
 	// CacheDir enables the shared on-disk result cache: warm jobs return
 	// without executing any simulation, across restarts.
 	CacheDir string
+	// JournalDir enables the crash-recovery write-ahead log: every job
+	// state transition and SSE event is fsynced there before it is
+	// acknowledged or streamed, and New replays the directory's log —
+	// restoring terminal jobs with results and re-enqueueing interrupted
+	// ones — before serving. Empty disables journaling (the seed behavior).
+	JournalDir string
+	// JournalSegmentBytes overrides the journal's segment-rotation
+	// threshold (default 4 MiB); tests shrink it to exercise compaction.
+	JournalSegmentBytes int64
 	// JobTimeout fails a job still running after this long (default 15m).
 	JobTimeout time.Duration
 	// ProgressInterval paces SSE progress events (default 1s).
@@ -79,6 +89,13 @@ type Server struct {
 	met *metrics
 	mux *http.ServeMux
 
+	// jn is the write-ahead log (nil without JournalDir); epoch and
+	// recovery are fixed during New's replay, before any request is served.
+	jn        *journal.Journal
+	epoch     int
+	recovery  RecoveryInfo
+	compactMu sync.Mutex
+
 	mu       sync.Mutex
 	jobs     map[string]*Job // by id
 	order    []string        // admission order, for the jobs list
@@ -91,8 +108,16 @@ type Server struct {
 	closing chan struct{}
 }
 
-// New builds a Server and starts its workers. Close (or Drain) releases it.
+// New builds a Server and starts its workers. Close (or Drain) releases
+// it. With JournalDir set, New first replays the write-ahead log: terminal
+// jobs come back with results, interrupted jobs are re-enqueued (the
+// content-addressed cache makes the re-run idempotent), and SSE event
+// logs are rebuilt so Last-Event-ID resume spans the restart. An invalid
+// Config is rejected with a *ConfigError before any resource is touched.
 func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 64
 	}
@@ -141,11 +166,34 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *Job, cfg.QueueSize),
 		closing: make(chan struct{}),
 	}
+	var resume []*Job
+	if cfg.JournalDir != "" {
+		jn, err := journal.Open(cfg.JournalDir, journal.Options{
+			MaxSegmentBytes: cfg.JournalSegmentBytes,
+			Faults:          cfg.Faults,
+			FsyncHist:       met.jnFsync,
+		})
+		if err != nil {
+			har.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.jn = jn
+		if resume, err = s.recoverJournal(); err != nil {
+			har.Close()
+			jn.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	met.registerDerived(s)
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.workerLoop()
+	}
+	// Re-enqueue the jobs a crash interrupted, after the workers exist so
+	// a backlog larger than the queue drains instead of deadlocking New.
+	for _, j := range resume {
+		s.queue <- j
 	}
 	return s, nil
 }
@@ -247,6 +295,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	return MetricsSnapshot{
 		Cluster: clu,
+		Journal: s.journalSnapshot(),
 		Server: ServerCounters{
 			JobsSubmitted:   int64(s.met.submitted.Value()),
 			JobsDeduped:     int64(s.met.deduped.Value()),
@@ -289,6 +338,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.har.Close()
 		if s.cfg.Coordinator != nil {
 			s.cfg.Coordinator.Close()
+		}
+		if err := s.jn.Close(); err != nil {
+			s.cfg.Log.Error("journal close failed", "err", err)
 		}
 		return nil
 	case <-ctx.Done():
@@ -391,7 +443,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			len(s.queue), cap(s.queue), retry)
 		return
 	}
-	j := newJob(id, key, canon)
+	j := newJob(id, key, canon, s.epoch, s.eventSink())
 	// Remember the submit request's span context so the job's execution
 	// span — which runs later, on a worker goroutine — still joins the
 	// submitting client's trace.
@@ -560,11 +612,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // workerLoop pulls admitted jobs until the queue is closed and drained.
+// When a journal is live, a drain leaves still-queued jobs unrun: they are
+// already durable as "queued" and the next boot resumes them — a restart
+// should not have to wait out the whole backlog.
 func (s *Server) workerLoop() {
 	defer s.workers.Done()
 	for j := range s.queue {
+		if s.jn != nil && s.isDraining() && j.Info().Status == StatusQueued {
+			s.cfg.Log.Info("drain: queued job persists in journal for next boot", "job", j.id)
+			continue
+		}
 		s.runJob(j)
+		s.maybeCompactJournal()
 	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // runJob drives one job: running-state transition, paced progress events,
