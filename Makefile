@@ -8,9 +8,11 @@ BASELINE_COLD ?= 257.6
 BASELINE_STEP ?= 835
 BASELINE_NOTE ?= PR-7 main (pre table-driven QARMA), hybpexp -scale quick -seed 2022 -j 1, single-core container
 
-.PHONY: ci vet build test race bench benchsmoke profile record serve loadtest chaos chaossmoke cluster-smoke trace-smoke journal-smoke
+.PHONY: ci vet lint build test race bench benchsmoke profile record serve loadtest chaos chaossmoke cluster-smoke trace-smoke journal-smoke
 
-# ci is the full gate: static checks, build, the whole test suite, a
+# ci is the full gate: static checks (go vet plus hybplint, the
+# project-specific analyzers for nil-safe handles, determinism, atomic
+# writes, and panic-safe goroutines), build, the whole test suite, a
 # race-detector pass over the concurrent packages (the harness worker pool
 # and the experiments that drive it), a 1-iteration benchmark smoke so the
 # perf-tracking layer can't rot unnoticed, a short chaos run so the
@@ -20,16 +22,24 @@ BASELINE_NOTE ?= PR-7 main (pre table-driven QARMA), hybpexp -scale quick -seed 
 # producing loadable Chrome trace JSON, and a journal smoke (hybpd
 # SIGKILLed mid-sweep, restarted on the same -journal) so crash recovery
 # keeps losing nothing.
-ci: vet build test race benchsmoke chaossmoke cluster-smoke trace-smoke journal-smoke
+ci: vet lint build test race benchsmoke chaossmoke cluster-smoke trace-smoke journal-smoke
 
 vet:
 	$(GO) vet ./...
 
+# lint runs the project's own static-analysis suite (see README "Static
+# analysis"). Findings fail the build; suppressions require a reasoned
+# //lint:ignore <analyzer> <reason> comment.
+lint:
+	$(GO) run ./cmd/hybplint ./...
+
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order within each package so hidden
+# inter-test state can't calcify into an ordering dependency.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # race runs the race detector where concurrency lives. The sim package is
 # raced with -short: its harness-integration tests (runner_test.go) always

@@ -1,0 +1,111 @@
+// Command hybplint runs the project's static-analysis suite (internal/lint)
+// over the module: nilrecv, determinism, atomicwrite, gorecover.
+//
+// Usage:
+//
+//	hybplint [-json] [-C dir] [./...]
+//
+// Diagnostics print vet-style as file:line:col: analyzer: message (or as a
+// JSON array with -json). Exit status: 0 clean, 1 findings, 2 usage or
+// load error. Findings are suppressed with //lint:ignore <analyzer>
+// <reason> on or directly above the flagged line; the reason is mandatory,
+// and unused or malformed directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybp/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("hybplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	chdir := fs.String("C", ".", "module root to analyze (directory holding go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hybplint [-json] [-C dir] [./...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// The only supported pattern is the whole module; accept ./... (and no
+	// pattern) so the invocation reads like go vet.
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "hybplint: unsupported pattern %q (only ./... — the suite always checks the whole module)\n", pat)
+			return 2
+		}
+	}
+
+	root, err := findModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintf(stderr, "hybplint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "hybplint: %v\n", err)
+		return 2
+	}
+	ds := lint.Check(pkgs, lint.DefaultConfig())
+
+	// Report paths relative to the module root: stable across machines and
+	// clickable from the repo top level.
+	for i := range ds {
+		if rel, err := filepath.Rel(root, ds[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			ds[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if ds == nil {
+			ds = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(ds); err != nil {
+			fmt.Fprintf(stderr, "hybplint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range ds {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(ds) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "hybplint: %d finding(s)\n", len(ds))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}

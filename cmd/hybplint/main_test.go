@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// devNull returns an open handle to discard output into.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestExitCodes pins the CLI contract: 0 on a clean tree, 2 on usage and
+// load errors. (Exit 1 on findings is exercised end to end by the
+// internal/lint fixture tests plus the acceptance check that reverting a
+// nil guard fails `make lint`.)
+func TestExitCodes(t *testing.T) {
+	out := devNull(t)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-C", root, "./..."}, out, out); got != 0 {
+		t.Errorf("clean tree: exit %d, want 0 (run `go run ./cmd/hybplint ./...` for the findings)", got)
+	}
+	if got := run([]string{"-C", root, "./internal/obs"}, out, out); got != 2 {
+		t.Errorf("unsupported pattern: exit %d, want 2", got)
+	}
+	if got := run([]string{"-C", t.TempDir(), "./..."}, out, out); got != 2 {
+		t.Errorf("no go.mod: exit %d, want 2", got)
+	}
+}

@@ -288,6 +288,14 @@ func (c *Coordinator) observeLeaseAge(it *workItem, now time.Time) {
 // if the whole fleet has gone silent, abandons outstanding items back to
 // local execution so a run never hangs on dead workers.
 func (c *Coordinator) janitor() {
+	// A sweep panic must not kill the embedding daemon (gorecover). The
+	// janitor itself stays down — leases then expire only via the
+	// lease-path checks — but registrations and results keep flowing.
+	defer func() {
+		if p := recover(); p != nil {
+			c.opts.Logf("cluster: janitor panicked: %v", p)
+		}
+	}()
 	period := c.opts.LeaseTTL / 4
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond

@@ -120,6 +120,22 @@ func (w *Worker) Drain() {
 	w.drainOnce.Do(func() { close(w.drainCh) })
 }
 
+// goSafe launches fn with panic containment: a panicking background
+// goroutine logs and dies alone instead of taking the worker process —
+// and every leased item it was driving — down with it. Every `go` in this
+// package routes through a recovery path (enforced by hybplint's
+// gorecover analyzer).
+func (w *Worker) goSafe(what string, fn func()) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				w.opts.Logf("hybpworker: %s goroutine panicked: %v", what, p)
+			}
+		}()
+		fn()
+	}()
+}
+
 func (w *Worker) draining() bool {
 	select {
 	case <-w.drainCh:
@@ -152,13 +168,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	// work must still finish and land during a drain.
 	leaseCtx, cancelLease := context.WithCancel(ctx)
 	defer cancelLease()
-	go func() {
+	w.goSafe("drain-watch", func() {
 		select {
 		case <-w.drainCh:
 			cancelLease()
 		case <-leaseCtx.Done():
 		}
-	}()
+	})
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -199,10 +215,11 @@ func (w *Worker) Run(ctx context.Context) error {
 		var wg sync.WaitGroup
 		for _, item := range resp.Items {
 			wg.Add(1)
-			go func(item WorkItem) {
+			item := item
+			w.goSafe("process", func() {
 				defer wg.Done()
 				w.process(ctx, item)
-			}(item)
+			})
 		}
 		wg.Wait()
 	}
@@ -225,10 +242,10 @@ func (w *Worker) process(ctx context.Context, item WorkItem) {
 	stop := make(chan struct{})
 	var hb sync.WaitGroup
 	hb.Add(1)
-	go func() {
+	w.goSafe("heartbeat", func() {
 		defer hb.Done()
 		w.heartbeatLoop(ctx, item.Key, stop)
-	}()
+	})
 	fut := harness.Submit(w.h, item.Key, func() json.RawMessage {
 		raw, err := w.opts.Exec(item.Key, item.Spec)
 		if err != nil {

@@ -133,6 +133,7 @@ func (c *diskCache) put(key string, v any) {
 	}
 	p := c.path(key)
 	tmp := p + ".tmp"
+	//lint:ignore atomicwrite this IS the atomic-write helper: temp file + rename publishes the checksummed envelope all cache writes flow through
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
 		return
 	}

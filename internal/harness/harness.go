@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -327,6 +328,24 @@ func SubmitSpec[T any](r *Runner, key string, spec json.RawMessage, fn func() T)
 		span.SetInt("queue_ms", time.Since(queued).Milliseconds())
 		defer func() { <-r.sem }()
 		defer func() {
+			// fn panics are already contained by runOnce; a panic on the
+			// job path itself (cache decode, remote fabric, span plumbing)
+			// would otherwise unwind past close(f.done) and kill the
+			// process. Recover it here — this defer runs first, so the
+			// future resolves with a typed error, never a zero value.
+			if p := recover(); p != nil {
+				err := error(&PanicError{Key: key, Value: p, Stack: debug.Stack()})
+				r.panics.Add(1)
+				r.failed.Add(1)
+				f.err = err
+				outcome = "panic"
+				span.SetErr(err)
+				r.mu.Lock()
+				if r.firstErr == nil {
+					r.firstErr = err
+				}
+				r.mu.Unlock()
+			}
 			r.completed.Add(1)
 			close(f.done)
 		}()

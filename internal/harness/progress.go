@@ -34,6 +34,7 @@ func newReporter(w io.Writer, r *Runner, interval time.Duration) *reporter {
 }
 
 func (p *reporter) loop(interval time.Duration) {
+	defer p.recovered()
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
@@ -44,6 +45,22 @@ func (p *reporter) loop(interval time.Duration) {
 			return
 		case <-t.C:
 			p.print(false)
+		}
+	}
+}
+
+// recovered contains a reporter panic: progress output is cosmetic and
+// must never take the run down (gorecover). It also unblocks close(),
+// which waits on p.done — without this, a panicking reporter would leave
+// Runner.Close hanging. Only the loop goroutine closes p.done, so the
+// non-blocking probe is race-free.
+func (p *reporter) recovered() {
+	if v := recover(); v != nil {
+		fmt.Fprintf(p.w, "\rharness: progress reporter panicked: %v\n", v)
+		select {
+		case <-p.done:
+		default:
+			close(p.done)
 		}
 	}
 }

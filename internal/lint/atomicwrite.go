@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicwriteAnalyzer forces durable writes through the packages' own
+// checksummed envelopes. The harness disk cache writes temp-file +
+// fsync-free rename with an embedded digest, and the journal writes
+// length- and FNV-checksummed frames to an O_EXCL segment; a raw
+// os.Create / os.WriteFile / os.OpenFile anywhere else in those packages
+// is a write that crash-recovery and corruption detection cannot see.
+//
+// The helpers themselves are the two legitimate call sites; they carry
+// //lint:ignore atomicwrite directives explaining exactly that.
+type atomicwriteAnalyzer struct {
+	pkgs []string // import paths owning an atomic-write helper
+}
+
+func (a *atomicwriteAnalyzer) Name() string { return "atomicwrite" }
+func (a *atomicwriteAnalyzer) Doc() string {
+	return "packages owning checksummed atomic-write helpers must not call raw os.Create/os.WriteFile/os.OpenFile"
+}
+
+func (a *atomicwriteAnalyzer) Run(p *Package) []Diagnostic {
+	configured := false
+	for _, path := range a.pkgs {
+		if path == p.Path {
+			configured = true
+			break
+		}
+	}
+	if !configured {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id := ident(sel.X)
+			if id == nil {
+				return true
+			}
+			pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Create", "WriteFile", "OpenFile":
+				ds = append(ds, diag(p, sel.Pos(), a.Name(),
+					"raw os.%s bypasses this package's checksummed atomic-write helper; write through the helper (or, if this is the helper, add //lint:ignore atomicwrite <reason>)",
+					sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	return ds
+}

@@ -1,0 +1,460 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// determinismAnalyzer guards the bit-identity contract of the simulator
+// packages: the golden-digest and distributed-determinism tests require
+// that a run's output depend only on (config, seed), never on wall-clock,
+// process environment, global RNG state, or map iteration order.
+//
+// In the configured packages it forbids:
+//   - time.Now / time.Since / time.Until — wall-clock reads;
+//   - the global math/rand state (rand.Intn etc.; constructing a seeded
+//     *rand.Rand via rand.New(rand.NewSource(seed)) is fine);
+//   - os.Getenv / os.LookupEnv / os.Environ — environment reads;
+//   - `range` over a map whose body lets iteration order escape: returning
+//     or calling out mid-iteration, appending to a slice that is never
+//     sorted, writing order-dependent values to variables that outlive the
+//     loop. Order-insensitive bodies — counting, integer accumulation,
+//     rebuilding another map, deleting, append-then-sort — pass.
+type determinismAnalyzer struct {
+	pkgs map[string][]string // import path -> file basenames ("" => all)
+}
+
+func (a *determinismAnalyzer) Name() string { return "determinism" }
+func (a *determinismAnalyzer) Doc() string {
+	return "bit-identity-critical packages must not read wall-clock, environment, global RNG state, or leak map iteration order"
+}
+
+func (a *determinismAnalyzer) Run(p *Package) []Diagnostic {
+	files, configured := a.pkgs[p.Path]
+	if !configured {
+		return nil
+	}
+	fileSet := map[string]bool{}
+	for _, f := range files {
+		fileSet[f] = true
+	}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		if len(fileSet) > 0 && !fileSet[filepath.Base(p.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if d := a.checkSelector(p, n); d != nil {
+					ds = append(ds, *d)
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					ds = append(ds, a.checkMapRanges(p, n.Body)...)
+				}
+			case *ast.FuncLit:
+				ds = append(ds, a.checkMapRanges(p, n.Body)...)
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// checkSelector flags forbidden package-qualified references.
+func (a *determinismAnalyzer) checkSelector(p *Package, sel *ast.SelectorExpr) *Diagnostic {
+	id := ident(sel.X)
+	if id == nil {
+		return nil
+	}
+	pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[sel.Sel]
+	name := sel.Sel.Name
+	switch pkgName.Imported().Path() {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			d := diag(p, sel.Pos(), a.Name(),
+				"time.%s reads the wall clock in a bit-identity-critical package; thread simulated time or a seed instead", name)
+			return &d
+		}
+	case "math/rand", "math/rand/v2":
+		// Referencing types, or constructing an explicitly seeded
+		// generator, is fine; the package-level implicit RNG is not.
+		if _, isType := obj.(*types.TypeName); isType {
+			return nil
+		}
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return nil
+		}
+		d := diag(p, sel.Pos(), a.Name(),
+			"rand.%s uses the global math/rand state; use a *rand.Rand seeded from the run's seed (internal/rng)", name)
+		return &d
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			d := diag(p, sel.Pos(), a.Name(),
+				"os.%s reads the process environment in a bit-identity-critical package; take the value as explicit config", name)
+			return &d
+		}
+	}
+	return nil
+}
+
+// checkMapRanges inspects every map range in body (one function) against
+// the order-escape rules. The function scope matters because the safe
+// escape — append to a slice, sort it afterwards — needs the statements
+// around the loop.
+func (a *determinismAnalyzer) checkMapRanges(p *Package, body *ast.BlockStmt) []Diagnostic {
+	sorted := sortedVars(p, body)
+	var ds []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are their own scope; Run visits them separately
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if blankExpr(rs.Key) && blankExpr(rs.Value) {
+			return true // `for range m`: every iteration identical, order moot
+		}
+		if why := mapRangeEscape(p, rs, sorted); why != "" {
+			ds = append(ds, diag(p, rs.Pos(), a.Name(),
+				"map iteration order escapes: %s; collect keys and sort, or make the body order-insensitive", why))
+		}
+		return true
+	})
+	return ds
+}
+
+// blankExpr reports whether e is absent or the blank identifier.
+func blankExpr(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id := ident(e)
+	return id != nil && id.Name == "_"
+}
+
+// sortedVars collects the objects passed to a sort.* / slices.Sort* call
+// anywhere in the function: appending to one of these inside a map range
+// is the blessed escape.
+func sortedVars(p *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id := ident(sel.X)
+		if id == nil {
+			return true
+		}
+		pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if argID := ident(arg); argID != nil {
+				if obj := p.Info.Uses[argID]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mapRangeEscape reports why iteration order escapes rs's body, or "" when
+// the body is order-insensitive. The rules are deliberately syntactic and
+// conservative-but-ergonomic:
+//
+//   - declarations inside the body are loop-local and free;
+//   - writes to a map index, delete(), and integer accumulation (+=, ++,
+//     |=, &=, ^=) commute across orderings;
+//   - float accumulation does not (rounding is order-dependent) and is
+//     flagged;
+//   - append is allowed only into a slice that is sorted later in the same
+//     function;
+//   - returns, sends, and calls that could observe order (hash writes,
+//     output) are flagged.
+func mapRangeEscape(p *Package, rs *ast.RangeStmt, sorted map[types.Object]bool) string {
+	var why string
+	flag := func(format string, args ...any) {
+		if why == "" {
+			why = fmt.Sprintf(format, args...)
+		}
+	}
+	localTo := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End()
+	}
+
+	var checkExprCalls func(e ast.Expr)
+	checkExprCalls = func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id := ident(call.Fun); id != nil {
+				if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+					switch id.Name {
+					case "append", "len", "cap", "min", "max", "make", "new", "delete":
+						return true
+					}
+				}
+			}
+			flag("it calls %s mid-iteration", exprString(call.Fun))
+			return true
+		})
+	}
+
+	var checkStmt func(st ast.Stmt)
+	checkStmts := func(list []ast.Stmt) {
+		for _, st := range list {
+			checkStmt(st)
+		}
+	}
+	checkStmt = func(st ast.Stmt) {
+		if why != "" {
+			return
+		}
+		switch st := st.(type) {
+		case nil:
+		case *ast.ReturnStmt:
+			flag("it returns mid-iteration")
+		case *ast.SendStmt:
+			flag("it sends on a channel mid-iteration")
+		case *ast.BranchStmt, *ast.EmptyStmt:
+		case *ast.IncDecStmt:
+			if !integerExpr(p, st.X) && !exprLocal(p, st.X, localTo) {
+				flag("it increments a non-integer that outlives the loop")
+			}
+		case *ast.AssignStmt:
+			checkAssign(p, st, rs, sorted, localTo, flag, checkExprCalls)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+				if id := ident(call.Fun); id != nil && id.Name == "delete" {
+					if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+						return
+					}
+				}
+			}
+			checkExprCalls(st.X)
+		case *ast.IfStmt:
+			checkStmt(st.Init)
+			checkExprCalls(st.Cond)
+			checkStmts(st.Body.List)
+			checkStmt(st.Else)
+		case *ast.BlockStmt:
+			checkStmts(st.List)
+		case *ast.ForStmt:
+			checkStmt(st.Init)
+			checkExprCalls(st.Cond)
+			checkStmt(st.Post)
+			checkStmts(st.Body.List)
+		case *ast.RangeStmt:
+			checkExprCalls(st.X)
+			checkStmts(st.Body.List)
+		case *ast.SwitchStmt:
+			checkStmt(st.Init)
+			checkExprCalls(st.Tag)
+			for _, c := range st.Body.List {
+				checkStmt(c)
+			}
+		case *ast.TypeSwitchStmt:
+			checkStmt(st.Init)
+			for _, c := range st.Body.List {
+				checkStmt(c)
+			}
+		case *ast.CaseClause:
+			for _, e := range st.List {
+				checkExprCalls(e)
+			}
+			checkStmts(st.Body)
+		case *ast.DeclStmt:
+		case *ast.LabeledStmt:
+			checkStmt(st.Stmt)
+		default:
+			flag("its body has a statement the analyzer cannot prove order-insensitive (%T)", st)
+		}
+	}
+	checkStmts(rs.Body.List)
+	return why
+}
+
+// checkAssign applies the assignment rules inside a map-range body.
+func checkAssign(p *Package, st *ast.AssignStmt, rs *ast.RangeStmt,
+	sorted map[types.Object]bool, localTo func(types.Object) bool,
+	flag func(string, ...any), checkExprCalls func(ast.Expr)) {
+
+	if st.Tok == token.DEFINE {
+		// New loop-local variables; only their initializers matter.
+		for _, r := range st.Rhs {
+			checkExprCalls(r)
+		}
+		return
+	}
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+		for _, l := range st.Lhs {
+			if exprLocal(p, l, localTo) || isMapIndex(p, l) {
+				continue
+			}
+			if !integerExpr(p, l) {
+				flag("it accumulates into non-integer %s (order-dependent rounding)", exprString(l))
+			}
+		}
+		for _, r := range st.Rhs {
+			checkExprCalls(r)
+		}
+		return
+	case token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN, token.AND_NOT_ASSIGN:
+		for _, l := range st.Lhs {
+			if exprLocal(p, l, localTo) || isMapIndex(p, l) {
+				continue
+			}
+			if !integerExpr(p, l) {
+				flag("it accumulates into non-integer %s (order-dependent rounding)", exprString(l))
+			}
+		}
+		for _, r := range st.Rhs {
+			checkExprCalls(r)
+		}
+		return
+	}
+	// Plain `=`.
+	for i, l := range st.Lhs {
+		if blankExpr(l) || exprLocal(p, l, localTo) || isMapIndex(p, l) {
+			continue
+		}
+		var r ast.Expr
+		if len(st.Rhs) == len(st.Lhs) {
+			r = st.Rhs[i]
+		} else if len(st.Rhs) == 1 {
+			r = st.Rhs[0]
+		}
+		// `out = append(out, ...)` with a later sort is the blessed escape.
+		if call, ok := r.(*ast.CallExpr); ok {
+			if id := ident(call.Fun); id != nil && id.Name == "append" {
+				if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+					if lid := ident(l); lid != nil {
+						if obj := p.Info.Uses[lid]; obj != nil && sorted[obj] {
+							for _, argExpr := range call.Args[1:] {
+								checkExprCalls(argExpr)
+							}
+							continue
+						}
+						flag("it appends to %s, which is never sorted in this function", lid.Name)
+						continue
+					}
+				}
+			}
+		}
+		// Constant stores commute (e.g. seen-flag = true).
+		if r != nil {
+			if tv, ok := p.Info.Types[r]; ok && tv.Value != nil {
+				continue
+			}
+		}
+		flag("it assigns %s, which outlives the loop, a value that can depend on iteration order", exprString(l))
+	}
+	for _, r := range st.Rhs {
+		checkExprCalls(r)
+	}
+}
+
+// exprLocal reports whether e is an identifier declared inside the loop
+// body (possibly behind selectors/indexes on such an identifier).
+func exprLocal(p *Package, e ast.Expr, localTo func(types.Object) bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return localTo(p.Info.Uses[x])
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isMapIndex reports whether e is m[k] for a map m (rebuilding a map is
+// order-insensitive as long as the values are).
+func isMapIndex(p *Package, e ast.Expr) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := p.Info.Types[ix.X].Type
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// integerExpr reports whether e's type is an integer.
+func integerExpr(p *Package, e ast.Expr) bool {
+	t := p.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

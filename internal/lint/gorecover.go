@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// gorecoverAnalyzer keeps the long-running subsystems (server daemon,
+// harness, cluster workers) alive through panics on background goroutines:
+// an unrecovered panic on any goroutine kills the whole process, so every
+// `go` statement in those packages must route through a recovery path.
+//
+// A `go` statement passes if:
+//   - it launches a function literal one of whose top-level statements is
+//     a `defer` of a recover()-containing function (an inline
+//     `defer func() { recover() ... }()` or a same-package helper); or
+//   - it launches a named same-package function/method whose body opens
+//     with such a top-level defer (`go s.workerLoop()` where workerLoop
+//     does `defer s.recovered(...)`).
+//
+// Anything else — a bare closure, a cross-package callee the analyzer
+// cannot see into — is flagged.
+type gorecoverAnalyzer struct {
+	pkgs []string // import paths whose goroutines must recover
+}
+
+func (a *gorecoverAnalyzer) Name() string { return "gorecover" }
+func (a *gorecoverAnalyzer) Doc() string {
+	return "goroutines in long-running subsystems must defer a recover() path so a panic cannot kill the process"
+}
+
+func (a *gorecoverAnalyzer) Run(p *Package) []Diagnostic {
+	configured := false
+	for _, path := range a.pkgs {
+		if path == p.Path {
+			configured = true
+			break
+		}
+	}
+	if !configured {
+		return nil
+	}
+	// Index same-package function/method bodies so named callees and
+	// deferred helpers can be resolved.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	g := &goScan{p: p, decls: decls}
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if why := g.unguarded(gs); why != "" {
+				ds = append(ds, diag(p, gs.Pos(), a.Name(),
+					"goroutine %s; a panic here kills the process — defer a recover() helper at the top of the goroutine", why))
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+type goScan struct {
+	p     *Package
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// unguarded returns "" when the launched function recovers panics, else a
+// short reason.
+func (g *goScan) unguarded(gs *ast.GoStmt) string {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if g.bodyGuarded(fun.Body) {
+			return ""
+		}
+		return "launches a function literal with no deferred recover()"
+	default:
+		fn := g.callee(gs.Call.Fun)
+		if fn == nil {
+			return "launches a function the analyzer cannot resolve"
+		}
+		decl := g.decls[fn]
+		if decl == nil {
+			return "launches " + fn.Name() + ", which is outside this package and not verifiable"
+		}
+		if g.bodyGuarded(decl.Body) {
+			return ""
+		}
+		return "launches " + fn.Name() + ", which has no top-level deferred recover()"
+	}
+}
+
+// bodyGuarded reports whether any top-level statement of body defers a
+// recover()-containing function.
+func (g *goScan) bodyGuarded(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		ds, ok := st.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if g.deferRecovers(ds.Call) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferRecovers reports whether the deferred call lands in recover():
+// either an inline function literal with a direct recover() call, or a
+// same-package function/method whose body calls recover() directly.
+func (g *goScan) deferRecovers(call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return callsRecover(g.p, lit.Body)
+	}
+	fn := g.callee(call.Fun)
+	if fn == nil {
+		return false
+	}
+	decl := g.decls[fn]
+	return decl != nil && callsRecover(g.p, decl.Body)
+}
+
+// callee resolves fun to the *types.Func it denotes, through plain
+// identifiers and method selections.
+func (g *goScan) callee(fun ast.Expr) *types.Func {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := g.p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := g.p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callsRecover reports whether body calls the recover builtin directly
+// (not inside a nested function literal, whose recover would not stop this
+// goroutine's panic).
+func callsRecover(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id := ident(call.Fun); id != nil && id.Name == "recover" {
+			if _, builtin := p.Info.Uses[id].(*types.Builtin); builtin {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

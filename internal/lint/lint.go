@@ -1,0 +1,161 @@
+// Package lint is hybp's project-specific static-analysis suite.
+//
+// The repo's correctness rests on conventions that ordinary tooling cannot
+// see: nil-receiver-safe observability/fault handles, bit-identical
+// simulator output regardless of scheduling, durable writes only through
+// checksummed atomic-rename envelopes, and panic containment on every
+// background goroutine. This package loads the whole module with nothing
+// but the standard library (go/parser + go/types + go/importer — the
+// module has zero dependencies and stays that way) and enforces those
+// conventions as vet-style diagnostics.
+//
+// Findings can be suppressed with a
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// comment on, or on the line above, the flagged line. The reason is
+// mandatory; malformed or unused ignore comments are themselves reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, addressable as file:line:col.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run is called once per package and
+// returns findings for that package only; the driver handles suppression,
+// ordering, and output.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(p *Package) []Diagnostic
+}
+
+// Config scopes each analyzer to the packages (by import path) whose
+// contracts it enforces. Packages not mentioned are not checked: the
+// invariants are subsystem contracts, not universal style rules.
+type Config struct {
+	// NilSafe maps an import path to the type names whose pointer-receiver
+	// methods must guard a nil receiver before any field access.
+	NilSafe map[string][]string
+	// Determinism maps an import path to the file basenames to check; a
+	// nil or empty slice means every file in the package.
+	Determinism map[string][]string
+	// AtomicWrite lists import paths where raw os.Create / os.WriteFile /
+	// os.OpenFile calls are forbidden (the package owns a checksummed
+	// atomic-write helper all durable writes must go through).
+	AtomicWrite []string
+	// GoRecover lists import paths where every `go` statement must route
+	// panics through a recovery helper.
+	GoRecover []string
+}
+
+// DefaultConfig returns the invariants of this repository: the documented
+// nil-safe handle types, the bit-identity-critical simulator packages, the
+// two packages owning atomic-write envelopes, and the long-running
+// subsystems whose goroutines must not crash the process.
+func DefaultConfig() Config {
+	const mod = "hybp"
+	return Config{
+		NilSafe: map[string][]string{
+			mod + "/internal/obs":     {"Tracer", "Span", "Histogram", "Registry"},
+			mod + "/internal/faults":  {"Injector"},
+			mod + "/internal/journal": {"Journal"},
+		},
+		Determinism: map[string][]string{
+			mod + "/internal/sim":      nil,
+			mod + "/internal/tage":     nil,
+			mod + "/internal/btb":      nil,
+			mod + "/internal/ras":      nil,
+			mod + "/internal/cipher":   nil,
+			mod + "/internal/keys":     nil,
+			mod + "/internal/secure":   nil,
+			mod + "/internal/pipeline": nil,
+			mod + "/internal/workload": nil,
+			mod + "/internal/rng":      nil,
+			mod + "/internal/harness":  {"key.go"}, // job-key / seed derivation only
+		},
+		AtomicWrite: []string{
+			mod + "/internal/harness",
+			mod + "/internal/journal",
+		},
+		GoRecover: []string{
+			mod + "/internal/server",
+			mod + "/internal/harness",
+			mod + "/internal/cluster",
+		},
+	}
+}
+
+// Analyzers instantiates the suite for a config.
+func Analyzers(cfg Config) []Analyzer {
+	return []Analyzer{
+		&nilrecvAnalyzer{types: cfg.NilSafe},
+		&determinismAnalyzer{pkgs: cfg.Determinism},
+		&atomicwriteAnalyzer{pkgs: cfg.AtomicWrite},
+		&gorecoverAnalyzer{pkgs: cfg.GoRecover},
+	}
+}
+
+// Check runs the configured analyzers over the loaded packages, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics in
+// (file, line, col) order. Malformed and unused ignore comments are
+// reported under the "lint" pseudo-analyzer.
+func Check(pkgs []*Package, cfg Config) []Diagnostic {
+	analyzers := Analyzers(cfg)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		var ds []Diagnostic
+		for _, a := range analyzers {
+			ds = append(ds, a.Run(p)...)
+		}
+		out = append(out, applyIgnores(p, ds, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// diag builds a Diagnostic at pos.
+func diag(p *Package, pos token.Pos, analyzer, format string, args ...any) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}

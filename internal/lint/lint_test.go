@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig scopes the analyzers to the testdata packages, mirroring
+// how DefaultConfig scopes them to the real subsystems.
+func fixtureConfig() Config {
+	return Config{
+		NilSafe: map[string][]string{
+			"fixture/nilrecv": {"Handle", "Span"},
+		},
+		Determinism: map[string][]string{
+			"fixture/determinism": nil,
+			"fixture/ignore":      nil,
+		},
+		AtomicWrite: []string{"fixture/atomicwrite", "fixture/ignore"},
+		GoRecover:   []string{"fixture/gorecover"},
+	}
+}
+
+// want is one expectation from a `// want `+"`regex`"+` comment: a
+// diagnostic must land on the comment's line and match the regex.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var backquoted = regexp.MustCompile("`([^`]*)`")
+
+// collectWants parses the expectation comments out of a fixture package.
+// A `// want` comment carries one or more backquoted regexes; each is a
+// separate expectation on that line.
+func collectWants(t *testing.T, p *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want `")
+				if idx < 0 {
+					continue
+				}
+				for _, m := range backquoted.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := p.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata package, runs the suite, and requires an
+// exact match between diagnostics and want comments: every diagnostic
+// expected, every expectation met.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	p, err := LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	ds := Check([]*Package{p}, fixtureConfig())
+	if len(ds) == 0 {
+		t.Fatalf("fixture %s produced no diagnostics; fixtures must exercise their analyzer", name)
+	}
+	wants := collectWants(t, p)
+	for _, d := range ds {
+		text := d.Analyzer + ": " + d.Message
+		found := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestNilrecvFixture(t *testing.T)     { runFixture(t, "nilrecv") }
+func TestDeterminismFixture(t *testing.T) { runFixture(t, "determinism") }
+func TestAtomicwriteFixture(t *testing.T) { runFixture(t, "atomicwrite") }
+func TestGorecoverFixture(t *testing.T)   { runFixture(t, "gorecover") }
+func TestIgnoreFixture(t *testing.T)      { runFixture(t, "ignore") }
+
+// TestDiagnosticString pins the vet-style rendering the Makefile greps.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 7, Col: 3, Analyzer: "nilrecv", Message: "boom"}
+	if got, wantStr := d.String(), "a/b.go:7:3: nilrecv: boom"; got != wantStr {
+		t.Fatalf("String() = %q, want %q", got, wantStr)
+	}
+}
+
+// TestDiagnosticsSorted pins the deterministic output order: the linter
+// itself must obey the determinism discipline it enforces.
+func TestDiagnosticsSorted(t *testing.T) {
+	p, err := LoadDir(filepath.Join("testdata", "src", "determinism"), "fixture/determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev string
+	for i, d := range Check([]*Package{p}, fixtureConfig()) {
+		key := fmt.Sprintf("%s:%06d:%06d:%s:%s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		if i > 0 && key < prev {
+			t.Fatalf("diagnostics out of order: %q after %q", key, prev)
+		}
+		prev = key
+	}
+}

@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilrecvAnalyzer enforces the repo's nil-safe-handle contract: on types
+// documented nil-safe (obs.Tracer/Span/Histogram/Registry, faults.Injector,
+// journal.Journal), every pointer-receiver method must guard the nil
+// receiver before any field access, so a zero-value or absent handle is a
+// working no-op rather than a panic.
+//
+// A method is safe if every receiver dereference is dominated by a nil
+// check: `if r == nil { return }`, enclosure in `if r != nil { ... }`, or
+// short-circuit forms like `r == nil || r.f` / `r != nil && r.f`. Calls
+// that forward the receiver to another method of the same type are safe
+// exactly when the callee is safe; that is resolved as a greatest fixpoint
+// over the package's method set, so exported methods may delegate their
+// guard to unexported helpers (Registry.Counter -> Registry.add).
+//
+// Only exported methods are reported: they are the contract surface. An
+// unexported helper that dereferences without a guard is fine on its own —
+// the convention is that such helpers run post-guard — and it surfaces
+// through the fixpoint the moment any exported method reaches it before
+// guarding.
+type nilrecvAnalyzer struct {
+	types map[string][]string // import path -> nil-safe type names
+}
+
+func (a *nilrecvAnalyzer) Name() string { return "nilrecv" }
+func (a *nilrecvAnalyzer) Doc() string {
+	return "pointer-receiver methods on documented-nil-safe types must guard the nil receiver before any field access"
+}
+
+// nilHazard is one unguarded receiver use inside a method body.
+type nilHazard struct {
+	pos    token.Pos
+	field  string      // set for a direct field access
+	callee *types.Func // set when the receiver is forwarded to a same-type method
+}
+
+type nilMethod struct {
+	fn      *types.Func
+	hazards []nilHazard
+}
+
+func (a *nilrecvAnalyzer) Run(p *Package) []Diagnostic {
+	names := a.types[p.Path]
+	if len(names) == 0 {
+		return nil
+	}
+	nameSet := map[string]bool{}
+	for _, n := range names {
+		nameSet[n] = true
+	}
+
+	// Collect every pointer-receiver method on a nil-safe type, with the
+	// receiver uses a single intraprocedural pass leaves unguarded.
+	var methods []*nilMethod
+	byFunc := map[*types.Func]*nilMethod{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			tname := pointerRecvTypeName(fn)
+			if tname == "" || !nameSet[tname] {
+				continue
+			}
+			m := &nilMethod{fn: fn}
+			if fields := fd.Recv.List[0].Names; len(fields) > 0 && fields[0].Name != "_" {
+				recvObj := p.Info.Defs[fields[0]]
+				if recvObj != nil {
+					scan := &nilScan{info: p.Info, recv: recvObj}
+					scan.block(fd.Body.List, false)
+					m.hazards = scan.hazards
+				}
+			}
+			methods = append(methods, m)
+			byFunc[fn] = m
+		}
+	}
+
+	// Greatest fixpoint: assume every method safe, then demote any method
+	// with an unguarded field access, or an unguarded forward to a method
+	// that is itself unsafe (or outside the analyzed set, e.g. a promoted
+	// method of an embedded field — reaching it dereferences the receiver).
+	unsafe := map[*types.Func]*nilHazard{}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if unsafe[m.fn] != nil {
+				continue
+			}
+			for i := range m.hazards {
+				h := &m.hazards[i]
+				if h.callee != nil {
+					if cm, ok := byFunc[h.callee]; ok && unsafe[cm.fn] == nil {
+						continue // forwarding to a (currently) safe method
+					}
+				}
+				unsafe[m.fn] = h
+				changed = true
+				break
+			}
+		}
+	}
+
+	var ds []Diagnostic
+	for _, m := range methods {
+		h := unsafe[m.fn]
+		if h == nil || !m.fn.Exported() {
+			continue
+		}
+		tname := pointerRecvTypeName(m.fn)
+		if h.callee != nil {
+			ds = append(ds, diag(p, h.pos, a.Name(),
+				"(*%s).%s: receiver of nil-safe type %s reaches (*%s).%s, which dereferences it, before a nil guard",
+				tname, m.fn.Name(), tname, tname, h.callee.Name()))
+		} else {
+			ds = append(ds, diag(p, h.pos, a.Name(),
+				"(*%s).%s: receiver of nil-safe type %s is dereferenced (.%s) before a nil guard",
+				tname, m.fn.Name(), tname, h.field))
+		}
+	}
+	return ds
+}
+
+// pointerRecvTypeName returns the named-type name when fn's receiver is
+// *T for a named T declared in fn's package, else "".
+func pointerRecvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// nilScan walks one method body tracking whether the receiver is known
+// non-nil on the current path, and records receiver uses that happen while
+// it is not.
+type nilScan struct {
+	info    *types.Info
+	recv    types.Object
+	hazards []nilHazard
+}
+
+type nilCheck int
+
+const (
+	checkNone nilCheck = iota
+	checkEq            // expression is true iff receiver == nil
+	checkNeq           // expression is true iff receiver != nil
+)
+
+// block scans a statement list. guarded is the receiver state on entry;
+// the return value is the state after the list (a `if r == nil { return }`
+// guard upgrades the remainder of the list).
+func (s *nilScan) block(stmts []ast.Stmt, guarded bool) bool {
+	for _, st := range stmts {
+		guarded = s.stmt(st, guarded)
+	}
+	return guarded
+}
+
+func (s *nilScan) stmt(st ast.Stmt, guarded bool) bool {
+	switch st := st.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			guarded = s.stmt(st.Init, guarded)
+		}
+		switch s.expr(st.Cond, guarded) {
+		case checkEq: // then-branch: receiver is nil
+			s.block(st.Body.List, guarded)
+			if st.Else != nil {
+				s.stmt(st.Else, true)
+			}
+			if terminates(st.Body) {
+				return true // the nil case returned; the rest of the caller is guarded
+			}
+		case checkNeq: // then-branch: receiver is non-nil
+			s.block(st.Body.List, true)
+			if st.Else != nil {
+				s.stmt(st.Else, guarded)
+			}
+		default:
+			s.block(st.Body.List, guarded)
+			if st.Else != nil {
+				s.stmt(st.Else, guarded)
+			}
+		}
+		return guarded
+	case *ast.BlockStmt:
+		return s.block(st.List, guarded)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			guarded = s.stmt(st.Init, guarded)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, guarded)
+		}
+		if st.Post != nil {
+			s.stmt(st.Post, guarded)
+		}
+		s.block(st.Body.List, guarded)
+		return guarded
+	case *ast.RangeStmt:
+		s.expr(st.X, guarded)
+		s.block(st.Body.List, guarded)
+		return guarded
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			guarded = s.stmt(st.Init, guarded)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, guarded)
+		}
+		for _, c := range st.Body.List {
+			s.stmt(c, guarded)
+		}
+		return guarded
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			guarded = s.stmt(st.Init, guarded)
+		}
+		s.stmt(st.Assign, guarded)
+		for _, c := range st.Body.List {
+			s.stmt(c, guarded)
+		}
+		return guarded
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.expr(e, guarded)
+		}
+		s.block(st.Body, guarded)
+		return guarded
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			s.stmt(c, guarded)
+		}
+		return guarded
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.stmt(st.Comm, guarded)
+		}
+		s.block(st.Body, guarded)
+		return guarded
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, guarded)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, guarded)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, guarded)
+		}
+		return guarded
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, guarded)
+		}
+		return guarded
+	case *ast.ExprStmt:
+		s.expr(st.X, guarded)
+		return guarded
+	case *ast.DeferStmt:
+		s.expr(st.Call, guarded)
+		return guarded
+	case *ast.GoStmt:
+		s.expr(st.Call, guarded)
+		return guarded
+	case *ast.SendStmt:
+		s.expr(st.Chan, guarded)
+		s.expr(st.Value, guarded)
+		return guarded
+	case *ast.IncDecStmt:
+		s.expr(st.X, guarded)
+		return guarded
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, guarded)
+					}
+				}
+			}
+		}
+		return guarded
+	default:
+		return guarded
+	}
+}
+
+// expr scans an expression, recording unguarded receiver uses, and reports
+// whether the expression is a nil check of the receiver. Short-circuit
+// operators propagate the check: in `r == nil || r.closed`, the right
+// operand only evaluates when r != nil, so it is guarded.
+func (s *nilScan) expr(e ast.Expr, guarded bool) nilCheck {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			left := s.expr(e.X, guarded)
+			right := s.expr(e.Y, guarded || left == checkEq)
+			if left == checkEq || right == checkEq {
+				return checkEq
+			}
+			return checkNone
+		case token.LAND:
+			left := s.expr(e.X, guarded)
+			right := s.expr(e.Y, guarded || left == checkNeq)
+			if left == checkNeq || right == checkNeq {
+				return checkNeq
+			}
+			return checkNone
+		case token.EQL, token.NEQ:
+			if s.isRecvNilCompare(e) {
+				if e.Op == token.EQL {
+					return checkEq
+				}
+				return checkNeq
+			}
+		}
+		s.expr(e.X, guarded)
+		s.expr(e.Y, guarded)
+		return checkNone
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			switch s.expr(e.X, guarded) {
+			case checkEq:
+				return checkNeq
+			case checkNeq:
+				return checkEq
+			}
+			return checkNone
+		}
+		s.expr(e.X, guarded)
+		return checkNone
+	case *ast.SelectorExpr:
+		s.selector(e, guarded)
+		return checkNone
+	default:
+		if e == nil {
+			return checkNone
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				s.selector(n, guarded)
+				return false // selector handles its own subtree
+			case *ast.BinaryExpr:
+				if n.Op == token.LOR || n.Op == token.LAND {
+					s.expr(n, guarded)
+					return false
+				}
+			}
+			return true
+		})
+		return checkNone
+	}
+}
+
+// selector records a hazard when sel is a receiver field access or a
+// receiver method use while unguarded, then scans the rest of the subtree.
+func (s *nilScan) selector(sel *ast.SelectorExpr, guarded bool) {
+	if id := ident(sel.X); id != nil && s.info.Uses[id] == s.recv {
+		if !guarded {
+			if selection := s.info.Selections[sel]; selection != nil {
+				switch selection.Kind() {
+				case types.FieldVal:
+					s.hazards = append(s.hazards, nilHazard{pos: sel.Sel.Pos(), field: sel.Sel.Name})
+				case types.MethodVal, types.MethodExpr:
+					fn, _ := selection.Obj().(*types.Func)
+					if fn != nil && len(selection.Index()) == 1 {
+						// Direct method of the receiver type: safe iff the
+						// callee guards, resolved by the fixpoint.
+						s.hazards = append(s.hazards, nilHazard{pos: sel.Sel.Pos(), callee: fn})
+					} else {
+						// Promoted method: selecting it dereferences the
+						// receiver to reach the embedded field.
+						s.hazards = append(s.hazards, nilHazard{pos: sel.Sel.Pos(), field: sel.Sel.Name})
+					}
+				}
+			}
+		}
+		return
+	}
+	s.expr(sel.X, guarded)
+}
+
+// isRecvNilCompare reports whether e compares the receiver against nil.
+func (s *nilScan) isRecvNilCompare(e *ast.BinaryExpr) bool {
+	isRecv := func(x ast.Expr) bool {
+		id := ident(x)
+		return id != nil && s.info.Uses[id] == s.recv
+	}
+	isNil := func(x ast.Expr) bool {
+		id := ident(x)
+		if id == nil {
+			return false
+		}
+		_, ok := s.info.Uses[id].(*types.Nil)
+		return ok
+	}
+	return (isRecv(e.X) && isNil(e.Y)) || (isNil(e.X) && isRecv(e.Y))
+}
+
+// terminates reports whether a block always leaves the function: its last
+// statement is a return or a call to panic.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id := ident(call.Fun); id != nil && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

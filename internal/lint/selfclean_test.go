@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleSelfClean is the dogfood gate: the suite must report zero
+// findings on the repository's own HEAD. Any new finding either gets a
+// real fix or a reasoned //lint:ignore — never a silent regression.
+//
+// This is also the integration test of the loader: it parses and
+// type-checks every package in the module with nothing but the standard
+// library.
+func TestModuleSelfClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk is missing subsystems", len(pkgs))
+	}
+	ds := Check(pkgs, DefaultConfig())
+	for _, d := range ds {
+		t.Errorf("finding on HEAD: %s", d)
+	}
+	if len(ds) > 0 {
+		t.Fatalf("hybplint reports %d finding(s) on its own tree; fix them or add a reasoned //lint:ignore", len(ds))
+	}
+}

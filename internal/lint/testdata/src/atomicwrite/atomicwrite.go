@@ -1,0 +1,31 @@
+// Package atomicwrite is a hybplint fixture: the package is configured as
+// owning a checksummed atomic-write helper, so raw write-path os calls are
+// forbidden.
+package atomicwrite
+
+import "os"
+
+// SpillRaw writes a file directly.
+func SpillRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `raw os\.WriteFile bypasses this package's checksummed atomic-write helper`
+}
+
+// CreateRaw opens a file for writing directly.
+func CreateRaw(path string) (*os.File, error) {
+	return os.Create(path) // want `raw os\.Create bypasses this package's checksummed atomic-write helper`
+}
+
+// OpenRaw uses os.OpenFile directly.
+func OpenRaw(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want `raw os\.OpenFile bypasses this package's checksummed atomic-write helper`
+}
+
+// ReadBack only reads: allowed.
+func ReadBack(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Shuffle renames: allowed (rename is the atomic half of the envelope).
+func Shuffle(from, to string) error {
+	return os.Rename(from, to)
+}

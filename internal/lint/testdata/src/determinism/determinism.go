@@ -1,0 +1,129 @@
+// Package determinism is a hybplint fixture: the whole package is
+// configured bit-identity-critical.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock.
+func Clock() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// Elapsed uses time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// GlobalRoll uses the implicit global RNG.
+func GlobalRoll() int {
+	return rand.Intn(6) // want `rand\.Intn uses the global math/rand state`
+}
+
+// SeededRoll constructs an explicitly seeded generator: allowed.
+func SeededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("HYBP_MODE") // want `os\.Getenv reads the process environment`
+}
+
+// ReturnsMidIteration lets map order pick the return value.
+func ReturnsMidIteration(m map[string]int) int {
+	for _, v := range m { // want `map iteration order escapes: it returns mid-iteration`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// AppendUnsorted leaks iteration order into the result slice.
+func AppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes: it appends to out, which is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// AppendThenSort is the blessed escape: collect, then sort.
+func AppendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountValues only accumulates integers: order-insensitive.
+func CountValues(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// SumFloats accumulates floats: rounding is order-dependent.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order escapes: it accumulates into non-integer sum`
+		sum += v
+	}
+	return sum
+}
+
+// Rebuild writes only map indexes: order-insensitive.
+func Rebuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// LocalsOnly declares and uses loop-locals: free.
+func LocalsOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		scaled := v * 3
+		clipped := scaled
+		if clipped > 100 {
+			clipped = 100
+		}
+		total += clipped
+	}
+	return total
+}
+
+// Drain deletes during iteration: order-insensitive.
+func Drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// CountOnly ranges without variables: every iteration identical.
+func CountOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CallsOut calls a function mid-iteration; the callee observes order.
+func CallsOut(m map[string]int, emit func(string)) {
+	for k := range m { // want `map iteration order escapes: it calls emit mid-iteration`
+		emit(k)
+	}
+}

@@ -1,0 +1,107 @@
+// Package gorecover is a hybplint fixture: every goroutine in this
+// package must route panics through a recover() path.
+package gorecover
+
+import "fmt"
+
+func work() {}
+
+// guard is the package's recovery helper.
+func guard() {
+	if p := recover(); p != nil {
+		fmt.Println("recovered:", p)
+	}
+}
+
+// Bare launches an unprotected closure.
+func Bare() {
+	go func() { // want `goroutine launches a function literal with no deferred recover\(\)`
+		work()
+	}()
+}
+
+// InlineRecover defers an inline recover literal: fine.
+func InlineRecover() {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Println("recovered:", p)
+			}
+		}()
+		work()
+	}()
+}
+
+// HelperRecover defers the package helper: fine.
+func HelperRecover() {
+	go func() {
+		defer guard()
+		work()
+	}()
+}
+
+// NestedRecoverDoesNotCount: the recover sits inside a nested literal that
+// the deferred function merely defines, so it never stops this
+// goroutine's panic.
+func NestedRecoverDoesNotCount() {
+	go func() { // want `goroutine launches a function literal with no deferred recover\(\)`
+		defer func() {
+			f := func() { _ = recover() }
+			_ = f
+		}()
+		work()
+	}()
+}
+
+// NamedGuarded launches a named function whose body opens with a deferred
+// recovery: fine.
+func NamedGuarded() {
+	go guardedLoop()
+}
+
+func guardedLoop() {
+	defer guard()
+	work()
+}
+
+// NamedBare launches a named function with no recovery.
+func NamedBare() {
+	go bareLoop() // want `goroutine launches bareLoop, which has no top-level deferred recover\(\)`
+}
+
+func bareLoop() {
+	work()
+}
+
+// CrossPackage launches a function the analyzer cannot see into.
+func CrossPackage() {
+	go fmt.Println("boom") // want `goroutine launches Println, which is outside this package and not verifiable`
+}
+
+// runner exercises the method forms.
+type runner struct{ n int }
+
+func (r *runner) recovered() {
+	if p := recover(); p != nil {
+		r.n++
+	}
+}
+
+func (r *runner) loop() {
+	defer r.recovered()
+	work()
+}
+
+func (r *runner) bareLoop() {
+	work()
+}
+
+// Start launches a guarded method: fine.
+func (r *runner) Start() {
+	go r.loop()
+}
+
+// StartBare launches an unguarded method.
+func (r *runner) StartBare() {
+	go r.bareLoop() // want `goroutine launches bareLoop, which has no top-level deferred recover\(\)`
+}

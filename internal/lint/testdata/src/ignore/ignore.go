@@ -1,0 +1,48 @@
+// Package ignore is a hybplint fixture for the //lint:ignore escape
+// hatch: suppression on the same line and the line above, plus the
+// malformed / unknown-analyzer / unused failure modes, which are findings
+// in their own right.
+package ignore
+
+import (
+	"os"
+	"time"
+)
+
+// SpillSuppressedTrailing carries the directive on the flagged line.
+func SpillSuppressedTrailing(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) //lint:ignore atomicwrite fixture: this call stands in for the checksummed helper itself
+}
+
+// SpillSuppressedAbove carries the directive on the line above.
+func SpillSuppressedAbove(path string, b []byte) error {
+	//lint:ignore atomicwrite fixture: directive placed above the flagged line
+	return os.WriteFile(path, b, 0o644)
+}
+
+// SpillUnsuppressed proves suppression is per-site, not per-file.
+func SpillUnsuppressed(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `raw os\.WriteFile bypasses`
+}
+
+// ClockSuppressed suppresses a determinism finding.
+func ClockSuppressed() int64 {
+	//lint:ignore determinism fixture: wall-clock read kept deliberately
+	return time.Now().UnixNano()
+}
+
+// MalformedDirective omits the mandatory reason.
+func MalformedDirective(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) /*lint:ignore atomicwrite*/ // want `malformed ignore directive` `raw os\.WriteFile bypasses`
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) /*lint:ignore nosuch the analyzer name is wrong*/ // want `ignore directive names unknown analyzer "nosuch"` `raw os\.WriteFile bypasses`
+}
+
+// UnusedDirective suppresses nothing.
+func UnusedDirective() int {
+	n := 1 + 2 /*lint:ignore determinism nothing is flagged on this line*/ // want `unused ignore directive for determinism`
+	return n
+}

@@ -1,0 +1,121 @@
+// Package nilrecv is a hybplint fixture: Handle and Span are "documented
+// nil-safe" in the test config; Other is not.
+package nilrecv
+
+type Handle struct {
+	n      int
+	closed bool
+	items  []string
+}
+
+// Bad dereferences before any guard.
+func (h *Handle) Bad() int {
+	return h.n // want `receiver of nil-safe type Handle is dereferenced \(\.n\) before a nil guard`
+}
+
+// Guarded uses the canonical early-return guard.
+func (h *Handle) Guarded() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// OrChain guards through short-circuit evaluation: h.closed only
+// evaluates when h != nil.
+func (h *Handle) OrChain() bool {
+	if h == nil || h.closed {
+		return false
+	}
+	return h.n > 0
+}
+
+// Enclosed only touches fields inside an if h != nil block.
+func (h *Handle) Enclosed() int {
+	if h != nil {
+		return h.n
+	}
+	return 0
+}
+
+// AndExpr guards inside a boolean expression.
+func (h *Handle) AndExpr() bool {
+	return h != nil && h.closed
+}
+
+// NotGuard guards via a negated comparison.
+func (h *Handle) NotGuard() int {
+	if !(h != nil) {
+		return 0
+	}
+	return h.n
+}
+
+// GuardedPanic treats panic as a terminating guard.
+func (h *Handle) GuardedPanic() int {
+	if h == nil {
+		panic("nil Handle")
+	}
+	return h.n
+}
+
+// DelegatesToGuarded is safe because the unexported callee guards.
+func (h *Handle) DelegatesToGuarded() int {
+	return h.safeLen()
+}
+
+func (h *Handle) safeLen() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.items)
+}
+
+// DelegatesToBad forwards the possibly-nil receiver to a helper that
+// dereferences without guarding.
+func (h *Handle) DelegatesToBad() int {
+	return h.rawLen() // want `receiver of nil-safe type Handle reaches \(\*Handle\).rawLen, which dereferences it, before a nil guard`
+}
+
+func (h *Handle) rawLen() int {
+	return len(h.items)
+}
+
+// LateGuard dereferences first and guards after — too late.
+func (h *Handle) LateGuard() int {
+	n := h.n // want `receiver of nil-safe type Handle is dereferenced \(\.n\) before a nil guard`
+	if h == nil {
+		return 0
+	}
+	return n
+}
+
+// ValueRecv has a value receiver: nil-safety does not apply.
+func (h Handle) ValueRecv() int {
+	return h.n
+}
+
+// Span is nil-safe too; its methods here are all guarded.
+type Span struct {
+	name  string
+	ended bool
+}
+
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+}
+
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Other is not in the nil-safe set; unguarded access is fine.
+type Other struct{ n int }
+
+func (o *Other) Get() int { return o.n }

@@ -120,6 +120,10 @@ type metric struct {
 }
 
 // Registry holds named instruments and renders them as Prometheus text.
+// A nil *Registry is metrics-off: registrations return working (but
+// unscraped) instruments and WritePrometheus renders nothing, so
+// components can thread a registry unconditionally just like a nil
+// *Tracer or *Histogram.
 type Registry struct {
 	mu      sync.Mutex
 	metrics []metric
@@ -134,6 +138,9 @@ func NewRegistry() *Registry {
 var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 func (r *Registry) add(m metric) {
+	if r == nil {
+		return
+	}
 	if !metricNameRE.MatchString(m.name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
 	}
@@ -181,6 +188,9 @@ func (r *Registry) Histogram(name, help string, h *Histogram) *Histogram {
 // WritePrometheus renders every registered instrument in text exposition
 // format 0.0.4, in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	ms := make([]metric, len(r.metrics))
 	copy(ms, r.metrics)

@@ -172,3 +172,38 @@ func TestFormatFloat(t *testing.T) {
 		}
 	}
 }
+
+// TestNilRegistry pins the nil-safe contract the nilrecv analyzer
+// enforces: a nil *Registry is metrics-off, not a panic. Registration
+// returns working (just unscraped) instruments, and scraping renders
+// nothing.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("hybp_nil_total", "counter on nil registry")
+	if c == nil {
+		t.Fatal("Counter on nil Registry returned nil")
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("counter on nil registry = %d, want 1", c.Value())
+	}
+	g := r.Gauge("hybp_nil_depth", "gauge on nil registry")
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatalf("gauge on nil registry = %d, want 3", g.Value())
+	}
+	r.CounterFunc("hybp_nil_func_total", "", func() uint64 { return 1 })
+	r.GaugeFunc("hybp_nil_func_depth", "", func() int64 { return 1 })
+	h := r.Histogram("hybp_nil_hist", "", NewHistogram([]float64{1}))
+	h.Observe(0.5)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("histogram returned by nil Registry dropped an observation")
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus on nil registry: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("WritePrometheus on nil registry wrote %q, want nothing", buf.String())
+	}
+}

@@ -188,7 +188,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = s.routes()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
-		go s.workerLoop()
+		s.goSafe("worker", s.workerLoop)
 	}
 	// Re-enqueue the jobs a crash interrupted, after the workers exist so
 	// a backlog larger than the queue drains instead of deadlocking New.
@@ -329,10 +329,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 
 	done := make(chan struct{})
-	go func() {
+	s.goSafe("drain-wait", func() {
 		s.workers.Wait()
 		close(done)
-	}()
+	})
 	select {
 	case <-done:
 		s.har.Close()
@@ -611,6 +611,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// goSafe launches fn on a goroutine behind panic recovery: a panicking
+// background task logs, increments panics_recovered, and dies alone
+// instead of killing the daemon — the same containment Handler gives
+// request handlers. Every `go` in this package routes through here or
+// carries its own recovery (enforced by hybplint's gorecover analyzer).
+func (s *Server) goSafe(what string, fn func()) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.panics.Inc()
+				s.cfg.Log.Error("background goroutine panicked", "what", what, "panic", fmt.Sprint(p))
+			}
+		}()
+		fn()
+	}()
+}
+
 // workerLoop pulls admitted jobs until the queue is closed and drained.
 // When a journal is live, a drain leaves still-queued jobs unrun: they are
 // already durable as "queued" and the next boot resumes them — a restart
@@ -650,7 +667,7 @@ func (s *Server) runJob(j *Job) {
 	stopProgress := make(chan struct{})
 	var progressDone sync.WaitGroup
 	progressDone.Add(1)
-	go func() {
+	s.goSafe("job-progress", func() {
 		defer progressDone.Done()
 		t := time.NewTicker(s.cfg.ProgressInterval)
 		defer t.Stop()
@@ -666,7 +683,7 @@ func (s *Server) runJob(j *Job) {
 				return
 			}
 		}
-	}()
+	})
 
 	type outcome struct {
 		raw json.RawMessage
